@@ -1,0 +1,23 @@
+//! Authoritative DNS service and iterative resolution over the simulated
+//! network.
+//!
+//! * [`ZoneSet`] — a collection of zones served by one operator, with
+//!   deepest-origin matching (a hosting provider serves many customer
+//!   zones from the same addresses).
+//! * [`AuthServer`] — a [`ruwhere_netsim::Service`] that answers DNS
+//!   queries from a shared, mutable [`ZoneSet`]; its [`ServerBehavior`]
+//!   models provider disengagement (answer normally, answer `REFUSED`, or
+//!   go silent) — the three ways the 2022 exits manifested to scanners.
+//! * [`IterativeResolver`] — referral-chasing resolution from the root,
+//!   with glue use, out-of-bailiwick NS resolution, CNAME chasing and
+//!   loop/budget protection. This is the measurement client used by the
+//!   OpenINTEL-style sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod resolver;
+pub mod server;
+
+pub use resolver::{IterativeResolver, Resolution, ResolveError, RootHint, TraceEvent};
+pub use server::{AuthServer, ServerBehavior, SharedZoneSet, ZoneSet};

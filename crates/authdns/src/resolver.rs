@@ -1,0 +1,638 @@
+//! Iterative (referral-chasing) resolution, as a measurement client.
+
+use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record};
+use ruwhere_netsim::Network;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A root name-server hint: where resolution starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootHint {
+    /// Root server host name (informational).
+    pub name: Name,
+    /// Root server address.
+    pub addr: Ipv4Addr,
+}
+
+/// Outcome of a successful resolution exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Positive answer: the full answer section (CNAME chain included).
+    Records(Vec<Record>),
+    /// Authoritative denial: the name does not exist.
+    NxDomain,
+    /// The name exists but has no records of the queried type.
+    NoData,
+}
+
+impl Resolution {
+    /// All IPv4 addresses in the answer.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        match self {
+            Resolution::Records(recs) => recs
+                .iter()
+                .filter_map(|r| match &r.data {
+                    RData::A(ip) => Some(*ip),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All NS target names in the answer.
+    pub fn ns_targets(&self) -> Vec<Name> {
+        match self {
+            Resolution::Records(recs) => recs
+                .iter()
+                .filter_map(|r| match &r.data {
+                    RData::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this is a positive answer.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Resolution::Records(_))
+    }
+}
+
+/// One step in a resolution trace (for diagnostics and the
+/// `resolver_trace` example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A query was sent to `server`.
+    Query {
+        /// Target server address.
+        server: Ipv4Addr,
+        /// Queried name.
+        qname: Name,
+        /// Queried type.
+        rtype: RType,
+    },
+    /// A referral moved resolution below `cut`.
+    Referral {
+        /// The zone cut.
+        cut: Name,
+        /// Glue addresses accepted (after bailiwick filtering).
+        glue: usize,
+        /// Glue records discarded by the bailiwick check.
+        rejected_glue: usize,
+    },
+    /// A server timed out.
+    Timeout {
+        /// The unresponsive server.
+        server: Ipv4Addr,
+    },
+    /// A CNAME redirected resolution.
+    Cname {
+        /// The alias target.
+        target: Name,
+    },
+    /// Terminal outcome (answer / nxdomain / nodata / error), rendered.
+    Done {
+        /// Human-readable outcome.
+        outcome: String,
+    },
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Every candidate server timed out.
+    Timeout,
+    /// Servers answered but refused or failed.
+    Refused,
+    /// Query/recursion budget exhausted (lame delegation loop or too-deep
+    /// dependency chain).
+    BudgetExhausted,
+    /// A referral pointed at name servers whose addresses could not be
+    /// resolved.
+    NoNameservers,
+    /// A malformed response that could not be decoded.
+    BadResponse,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Timeout => write!(f, "all name servers timed out"),
+            ResolveError::Refused => write!(f, "all name servers refused"),
+            ResolveError::BudgetExhausted => write!(f, "resolution budget exhausted"),
+            ResolveError::NoNameservers => write!(f, "referral with unresolvable name servers"),
+            ResolveError::BadResponse => write!(f, "malformed response"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// An iterative resolver bound to a client address.
+///
+/// Caches positive/negative answers and zone-cut server addresses for the
+/// lifetime of the cache (the scanner clears it at each daily sweep, so
+/// every day re-observes the infrastructure, like OpenINTEL's daily runs).
+pub struct IterativeResolver {
+    client_ip: Ipv4Addr,
+    roots: Vec<RootHint>,
+    /// Max queries for one `resolve` call.
+    pub query_budget: u32,
+    /// Per-query timeout in simulated microseconds.
+    pub timeout_us: u64,
+    /// Transport attempts per server.
+    pub attempts: u32,
+    next_id: u16,
+    answer_cache: HashMap<(Name, RType), Result<Resolution, ResolveError>>,
+    cut_cache: HashMap<Name, Vec<Ipv4Addr>>,
+    queries_sent: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl IterativeResolver {
+    /// New resolver at `client_ip` starting from `roots`.
+    pub fn new(client_ip: Ipv4Addr, roots: Vec<RootHint>) -> Self {
+        IterativeResolver {
+            client_ip,
+            roots,
+            query_budget: 64,
+            timeout_us: 2_000_000,
+            attempts: 2,
+            next_id: 1,
+            answer_cache: HashMap::new(),
+            cut_cache: HashMap::new(),
+            queries_sent: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable trace recording (cleared on [`IterativeResolver::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take and reset the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+
+    /// Total queries sent since construction (for harness accounting).
+    pub fn queries_sent(&self) -> u64 {
+        self.queries_sent
+    }
+
+    /// Drop all cached state (start of a new daily sweep).
+    pub fn clear_cache(&mut self) {
+        self.answer_cache.clear();
+        self.cut_cache.clear();
+    }
+
+    /// Resolve `name`/`rtype`, driving the simulated network.
+    pub fn resolve(
+        &mut self,
+        net: &mut Network,
+        name: &Name,
+        rtype: RType,
+    ) -> Result<Resolution, ResolveError> {
+        let mut budget = self.query_budget;
+        let result = self.resolve_inner(net, name, rtype, &mut budget, 0);
+        let outcome = match &result {
+            Ok(Resolution::Records(r)) => format!("answer ({} records)", r.len()),
+            Ok(Resolution::NxDomain) => "NXDOMAIN".to_owned(),
+            Ok(Resolution::NoData) => "NODATA".to_owned(),
+            Err(e) => format!("error: {e}"),
+        };
+        self.record(TraceEvent::Done { outcome });
+        result
+    }
+
+    fn resolve_inner(
+        &mut self,
+        net: &mut Network,
+        name: &Name,
+        rtype: RType,
+        budget: &mut u32,
+        depth: u32,
+    ) -> Result<Resolution, ResolveError> {
+        if depth > 6 {
+            return Err(ResolveError::BudgetExhausted);
+        }
+        if let Some(cached) = self.answer_cache.get(&(name.clone(), rtype)) {
+            return cached.clone();
+        }
+        let result = self.resolve_uncached(net, name, rtype, budget, depth);
+        // Cache everything except transient transport errors.
+        if !matches!(result, Err(ResolveError::Timeout)) {
+            self.answer_cache.insert((name.clone(), rtype), result.clone());
+        }
+        result
+    }
+
+    fn starting_servers(&self, name: &Name) -> Vec<Ipv4Addr> {
+        // Deepest cached cut that is an ancestor of `name`.
+        let mut cursor = Some(name.clone());
+        while let Some(n) = cursor {
+            if let Some(addrs) = self.cut_cache.get(&n) {
+                return addrs.clone();
+            }
+            cursor = n.parent();
+        }
+        self.roots.iter().map(|r| r.addr).collect()
+    }
+
+    fn send_query(
+        &mut self,
+        net: &mut Network,
+        server: Ipv4Addr,
+        name: &Name,
+        rtype: RType,
+        budget: &mut u32,
+    ) -> Result<Option<Message>, ResolveError> {
+        if *budget == 0 {
+            return Err(ResolveError::BudgetExhausted);
+        }
+        *budget -= 1;
+        self.queries_sent += 1;
+        self.record(TraceEvent::Query {
+            server,
+            qname: name.clone(),
+            rtype,
+        });
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let query = Message::query(id, name.clone(), rtype);
+        let bytes = query.encode().map_err(|_| ResolveError::BadResponse)?;
+        match net.request(
+            self.client_ip,
+            (server, 53),
+            &bytes,
+            self.timeout_us,
+            self.attempts,
+        ) {
+            Err(_) => {
+                self.record(TraceEvent::Timeout { server });
+                Ok(None) // timeout: caller tries the next server
+            }
+            Ok(reply) => {
+                let msg = Message::decode(&reply).map_err(|_| ResolveError::BadResponse)?;
+                if msg.id != id || !msg.is_response() {
+                    return Err(ResolveError::BadResponse);
+                }
+                Ok(Some(msg))
+            }
+        }
+    }
+
+    fn resolve_uncached(
+        &mut self,
+        net: &mut Network,
+        qname: &Name,
+        rtype: RType,
+        budget: &mut u32,
+        depth: u32,
+    ) -> Result<Resolution, ResolveError> {
+        let mut current_name = qname.clone();
+        let mut chain: Vec<Record> = Vec::new();
+        let mut servers = self.starting_servers(&current_name);
+        let mut saw_refusal = false;
+        let mut saw_timeout = false;
+
+        for _step in 0..24 {
+            // Try servers in order until one answers.
+            let mut response = None;
+            for &server in &servers {
+                match self.send_query(net, server, &current_name, rtype, budget)? {
+                    Some(msg) => {
+                        match msg.flags.rcode {
+                            Rcode::NoError | Rcode::NxDomain => {
+                                response = Some(msg);
+                                break;
+                            }
+                            _ => {
+                                saw_refusal = true;
+                                continue; // lame/refusing server: try next
+                            }
+                        }
+                    }
+                    None => {
+                        saw_timeout = true;
+                        continue;
+                    }
+                }
+            }
+            let Some(msg) = response else {
+                return Err(if saw_refusal && !saw_timeout {
+                    ResolveError::Refused
+                } else {
+                    ResolveError::Timeout
+                });
+            };
+
+            if msg.flags.rcode == Rcode::NxDomain {
+                return Ok(Resolution::NxDomain);
+            }
+
+            // Positive answer?
+            if !msg.answers.is_empty() {
+                let has_final = msg
+                    .answers
+                    .iter()
+                    .any(|r| r.data.rtype() == rtype);
+                chain.extend(msg.answers.iter().cloned());
+                if has_final {
+                    return Ok(Resolution::Records(chain));
+                }
+                // Pure CNAME response: chase the last target.
+                if let Some(target) = msg.answers.iter().rev().find_map(|r| match &r.data {
+                    RData::Cname(t) => Some(t.clone()),
+                    _ => None,
+                }) {
+                    if chain.len() > 16 {
+                        return Err(ResolveError::BudgetExhausted);
+                    }
+                    self.record(TraceEvent::Cname {
+                        target: target.clone(),
+                    });
+                    current_name = target;
+                    servers = self.starting_servers(&current_name);
+                    continue;
+                }
+                return Ok(Resolution::Records(chain));
+            }
+
+            // Referral?
+            let ns_records: Vec<&Record> = msg
+                .authorities
+                .iter()
+                .filter(|r| r.data.rtype() == RType::Ns)
+                .collect();
+            if !ns_records.is_empty() && !msg.flags.aa {
+                let cut = ns_records[0].name.clone();
+                let targets: Vec<Name> = ns_records
+                    .iter()
+                    .filter_map(|r| match &r.data {
+                        RData::Ns(t) => Some(t.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                // Bailiwick check: only accept glue whose owner is one of
+                // the referral's NS targets. Anything else in the
+                // additional section (cache-poisoning style extras) is
+                // discarded and, if needed, resolved independently.
+                let mut rejected_glue = 0usize;
+                let mut addrs: Vec<Ipv4Addr> = Vec::new();
+                for r in &msg.additionals {
+                    if let RData::A(ip) = &r.data {
+                        if targets.contains(&r.name) {
+                            addrs.push(*ip);
+                        } else {
+                            rejected_glue += 1;
+                        }
+                    }
+                }
+                let glue_accepted = addrs.len();
+                if addrs.is_empty() {
+                    // Out-of-bailiwick NS: resolve their addresses.
+                    for t in &targets {
+                        if let Ok(res) = self.resolve_inner(net, t, RType::A, budget, depth + 1) {
+                            addrs.extend(res.addresses());
+                        }
+                        if addrs.len() >= 4 {
+                            break;
+                        }
+                    }
+                }
+                self.record(TraceEvent::Referral {
+                    cut: cut.clone(),
+                    glue: glue_accepted,
+                    rejected_glue,
+                });
+                if addrs.is_empty() {
+                    return Err(ResolveError::NoNameservers);
+                }
+                self.cut_cache.insert(cut, addrs.clone());
+                servers = addrs;
+                continue;
+            }
+
+            // Authoritative empty answer: NoData.
+            if msg.flags.aa {
+                return Ok(Resolution::NoData);
+            }
+            // Neither answer, referral, nor authoritative denial.
+            return Err(ResolveError::BadResponse);
+        }
+        Err(ResolveError::BudgetExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{shared_zones, AuthServer, ServerBehavior};
+    use ruwhere_dns::{RData, Record, SoaData, Zone};
+    use ruwhere_netsim::{AsInfo, Topology};
+    use ruwhere_types::{Asn, Country, SeedTree};
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn soa(mname: &str) -> SoaData {
+        SoaData {
+            mname: name(mname),
+            rname: name("hostmaster.invalid"),
+            serial: 1,
+            refresh: 1,
+            retry: 1,
+            expire: 1,
+            minimum: 60,
+        }
+    }
+
+    const ROOT_IP: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+    const RU_TLD_IP: Ipv4Addr = Ipv4Addr::new(193, 232, 128, 6);
+    const COM_TLD_IP: Ipv4Addr = Ipv4Addr::new(192, 5, 6, 30);
+    const HOSTER_DNS_IP: Ipv4Addr = Ipv4Addr::new(194, 85, 61, 20);
+    const WEB_IP: Ipv4Addr = Ipv4Addr::new(194, 85, 90, 10);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(130, 89, 1, 1);
+
+    /// Build a three-level hierarchy: root → ru/com → example.ru served by
+    /// ns1.hoster.ru (in-bailiwick of .ru with glue) and ns2.hoster.com
+    /// (out-of-bailiwick, requiring a separate resolution).
+    fn build_world() -> (Network, IterativeResolver) {
+        let mut topo = Topology::new(SeedTree::new(11).child("topo"));
+        for (asn, org, cc) in [
+            (Asn(1), "ROOT-OPS", Country::US),
+            (Asn(2), "RIPN", Country::RU),
+            (Asn(3), "VRSN", Country::US),
+            (Asn(4), "RU-HOSTER", Country::RU),
+            (Asn(5), "SCANNER", Country::NL),
+        ] {
+            topo.add_as(AsInfo { asn, org: org.into(), country: cc });
+        }
+        topo.announce("198.41.0.0/24".parse().unwrap(), Asn(1));
+        topo.announce("193.232.128.0/24".parse().unwrap(), Asn(2));
+        topo.announce("192.5.6.0/24".parse().unwrap(), Asn(3));
+        topo.announce("194.85.0.0/16".parse().unwrap(), Asn(4));
+        topo.announce("130.89.0.0/16".parse().unwrap(), Asn(5));
+        let mut net = Network::new(topo, SeedTree::new(11).child("net"));
+
+        // Root zone.
+        let mut root = Zone::new(Name::root(), soa("a.root-servers.net"), 86400);
+        root.add(Record::new(name("ru"), 86400, RData::Ns(name("a.dns.ripn.net"))));
+        root.add(Record::new(name("a.dns.ripn.net"), 86400, RData::A(RU_TLD_IP)));
+        root.add(Record::new(name("com"), 86400, RData::Ns(name("a.gtld-servers.net"))));
+        root.add(Record::new(name("a.gtld-servers.net"), 86400, RData::A(COM_TLD_IP)));
+        net.bind(ROOT_IP, 53, Box::new(AuthServer::new(shared_zones([root]))));
+
+        // .ru TLD zone: delegation for example.ru + glue for in-bailiwick NS.
+        let mut ru = Zone::new(name("ru"), soa("a.dns.ripn.net"), 86400);
+        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
+        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns2.hoster.com"))));
+        ru.add(Record::new(name("hoster.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
+        ru.add(Record::new(name("ns1.hoster.ru"), 3600, RData::A(HOSTER_DNS_IP)));
+        net.bind(RU_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([ru]))));
+
+        // .com TLD zone: delegation for hoster.com.
+        let mut com = Zone::new(name("com"), soa("a.gtld-servers.net"), 86400);
+        com.add(Record::new(name("hoster.com"), 3600, RData::Ns(name("ns1.hoster.ru"))));
+        net.bind(COM_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([com]))));
+
+        // The hosting operator serves example.ru, hoster.ru AND hoster.com.
+        let mut example = Zone::new(name("example.ru"), soa("ns1.hoster.ru"), 3600);
+        example.add(Record::new(name("example.ru"), 300, RData::A(WEB_IP)));
+        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.hoster.ru"))));
+        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns2.hoster.com"))));
+        example.add(Record::new(name("www.example.ru"), 300, RData::Cname(name("example.ru"))));
+        let mut hoster_ru = Zone::new(name("hoster.ru"), soa("ns1.hoster.ru"), 3600);
+        hoster_ru.add(Record::new(name("ns1.hoster.ru"), 300, RData::A(HOSTER_DNS_IP)));
+        let mut hoster_com = Zone::new(name("hoster.com"), soa("ns1.hoster.ru"), 3600);
+        hoster_com.add(Record::new(name("ns2.hoster.com"), 300, RData::A(HOSTER_DNS_IP)));
+        net.bind(
+            HOSTER_DNS_IP,
+            53,
+            Box::new(AuthServer::new(shared_zones([example, hoster_ru, hoster_com]))),
+        );
+
+        let resolver = IterativeResolver::new(
+            CLIENT_IP,
+            vec![RootHint { name: name("a.root-servers.net"), addr: ROOT_IP }],
+        );
+        (net, resolver)
+    }
+
+    #[test]
+    fn full_iterative_resolution() {
+        let (mut net, mut r) = build_world();
+        let res = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WEB_IP]);
+    }
+
+    #[test]
+    fn ns_resolution() {
+        let (mut net, mut r) = build_world();
+        let res = r.resolve(&mut net, &name("example.ru"), RType::Ns).unwrap();
+        let mut targets: Vec<String> = res.ns_targets().iter().map(|n| n.to_string()).collect();
+        targets.sort();
+        assert_eq!(targets, vec!["ns1.hoster.ru.", "ns2.hoster.com."]);
+    }
+
+    #[test]
+    fn cname_chase() {
+        let (mut net, mut r) = build_world();
+        let res = r.resolve(&mut net, &name("www.example.ru"), RType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WEB_IP]);
+        if let Resolution::Records(recs) = &res {
+            assert!(recs.iter().any(|rec| rec.data.rtype() == RType::Cname));
+        }
+    }
+
+    #[test]
+    fn nxdomain_and_nodata() {
+        let (mut net, mut r) = build_world();
+        assert_eq!(
+            r.resolve(&mut net, &name("missing.example.ru"), RType::A).unwrap(),
+            Resolution::NxDomain
+        );
+        assert_eq!(
+            r.resolve(&mut net, &name("example.ru"), RType::Mx).unwrap(),
+            Resolution::NoData
+        );
+        assert_eq!(
+            r.resolve(&mut net, &name("unregistered.ru"), RType::A).unwrap(),
+            Resolution::NxDomain
+        );
+    }
+
+    #[test]
+    fn out_of_bailiwick_ns_resolved_via_com() {
+        let (mut net, mut r) = build_world();
+        // Resolving ns2.hoster.com requires walking root → com → hoster.
+        let res = r.resolve(&mut net, &name("ns2.hoster.com"), RType::A).unwrap();
+        assert_eq!(res.addresses(), vec![HOSTER_DNS_IP]);
+    }
+
+    #[test]
+    fn cache_reduces_queries() {
+        let (mut net, mut r) = build_world();
+        r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
+        let after_first = r.queries_sent();
+        r.resolve(&mut net, &name("www.example.ru"), RType::A).unwrap();
+        let after_second = r.queries_sent();
+        // Second resolution starts from the cached example.ru cut: at most
+        // a couple of queries instead of a full walk.
+        assert!(
+            after_second - after_first <= 2,
+            "expected cached walk, used {} queries",
+            after_second - after_first
+        );
+        // Repeated identical resolution is free.
+        r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
+        assert_eq!(r.queries_sent(), after_second);
+        // After clearing, the walk restarts at the root.
+        r.clear_cache();
+        r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
+        assert!(r.queries_sent() > after_second + 1);
+    }
+
+    #[test]
+    fn dead_server_times_out_then_next_is_tried() {
+        let (mut net, mut r) = build_world();
+        // Kill the hoster's DNS box; resolution of example.ru must fail.
+        net.unbind(HOSTER_DNS_IP, 53);
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::Timeout);
+    }
+
+    #[test]
+    fn refused_surfaces_as_refused() {
+        let (mut net, mut r) = build_world();
+        let zones = shared_zones([]);
+        let srv = AuthServer::new(zones);
+        *srv.behavior_handle().write() = ServerBehavior::Refused;
+        net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::Refused);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let (mut net, mut r) = build_world();
+        r.query_budget = 1;
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::BudgetExhausted);
+    }
+}

@@ -1,0 +1,330 @@
+//! Authoritative server: zone storage and query answering.
+
+use parking_lot::RwLock;
+use ruwhere_dns::zone::Lookup;
+use ruwhere_dns::{Message, Name, Rcode, Zone};
+use ruwhere_netsim::{Service, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A set of zones served by one operator, keyed by origin.
+#[derive(Debug, Default)]
+pub struct ZoneSet {
+    zones: BTreeMap<Name, Zone>,
+}
+
+impl ZoneSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a zone; keyed by its origin.
+    pub fn insert(&mut self, zone: Zone) {
+        self.zones.insert(zone.origin().clone(), zone);
+    }
+
+    /// Remove the zone with `origin`.
+    pub fn remove(&mut self, origin: &Name) -> Option<Zone> {
+        self.zones.remove(origin)
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Whether no zones are present.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Direct access to a zone by origin.
+    pub fn get(&self, origin: &Name) -> Option<&Zone> {
+        self.zones.get(origin)
+    }
+
+    /// Mutable access to a zone by origin.
+    pub fn get_mut(&mut self, origin: &Name) -> Option<&mut Zone> {
+        self.zones.get_mut(origin)
+    }
+
+    /// The zone with the deepest origin that is an ancestor of (or equal
+    /// to) `qname` — the zone this operator would answer from.
+    pub fn find_best(&self, qname: &Name) -> Option<&Zone> {
+        let mut cursor = Some(qname.clone());
+        while let Some(n) = cursor {
+            if let Some(z) = self.zones.get(&n) {
+                return Some(z);
+            }
+            cursor = n.parent();
+        }
+        None
+    }
+}
+
+/// Shared, mutable zone storage: the world driver updates zones while the
+/// network holds the serving side.
+pub type SharedZoneSet = Arc<RwLock<ZoneSet>>;
+
+/// How the server responds — the observable modes of provider behaviour
+/// during the 2022 disengagements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerBehavior {
+    /// Answer authoritatively from the zone set.
+    Normal,
+    /// Respond `REFUSED` to everything (service terminated, box still up).
+    Refused,
+    /// Never respond (black-holed / decommissioned).
+    Silent,
+}
+
+/// The authoritative DNS service bound into the simulated network.
+pub struct AuthServer {
+    zones: SharedZoneSet,
+    behavior: Arc<RwLock<ServerBehavior>>,
+}
+
+impl AuthServer {
+    /// New server over `zones` with [`ServerBehavior::Normal`].
+    pub fn new(zones: SharedZoneSet) -> Self {
+        AuthServer {
+            zones,
+            behavior: Arc::new(RwLock::new(ServerBehavior::Normal)),
+        }
+    }
+
+    /// Handle to flip behaviour later (provider exits mid-simulation).
+    pub fn behavior_handle(&self) -> Arc<RwLock<ServerBehavior>> {
+        Arc::clone(&self.behavior)
+    }
+
+    /// Answer `query` against the zone set (the wire-independent core).
+    pub fn answer(zones: &ZoneSet, query: &Message) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr);
+        };
+        let Some(zone) = zones.find_best(&q.name) else {
+            return Message::response_to(query, Rcode::Refused);
+        };
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        match zone.lookup(&q.name, q.rtype) {
+            Lookup::Answer(records) => {
+                resp.flags.aa = true;
+                resp.answers = records;
+            }
+            Lookup::Cname(cname) => {
+                resp.flags.aa = true;
+                // Chase in-zone as far as possible, like real servers do.
+                let mut chain = vec![cname.clone()];
+                let mut target = match &cname.data {
+                    ruwhere_dns::RData::Cname(t) => t.clone(),
+                    _ => unreachable!("Lookup::Cname holds a CNAME"),
+                };
+                for _ in 0..8 {
+                    match zone.lookup(&target, q.rtype) {
+                        Lookup::Answer(mut recs) => {
+                            chain.append(&mut recs);
+                            break;
+                        }
+                        Lookup::Cname(next) => {
+                            target = match &next.data {
+                                ruwhere_dns::RData::Cname(t) => t.clone(),
+                                _ => unreachable!(),
+                            };
+                            chain.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+                resp.answers = chain;
+            }
+            Lookup::Delegation { ns, glue } => {
+                resp.flags.aa = false;
+                resp.authorities = ns;
+                resp.additionals = glue;
+            }
+            Lookup::NoData => {
+                resp.flags.aa = true;
+                resp.authorities = vec![zone.soa_record()];
+            }
+            Lookup::NxDomain => {
+                resp.flags.aa = true;
+                resp.flags.rcode = Rcode::NxDomain;
+                resp.authorities = vec![zone.soa_record()];
+            }
+            Lookup::OutOfZone => {
+                resp.flags.rcode = Rcode::Refused;
+            }
+        }
+        resp
+    }
+}
+
+impl Service for AuthServer {
+    fn handle(&mut self, payload: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+        let behavior = *self.behavior.read();
+        if behavior == ServerBehavior::Silent {
+            return None;
+        }
+        let query = Message::decode(payload).ok()?;
+        if query.is_response() || query.questions.is_empty() {
+            return None;
+        }
+        let resp = if behavior == ServerBehavior::Refused {
+            Message::response_to(&query, Rcode::Refused)
+        } else {
+            Self::answer(&self.zones.read(), &query)
+        };
+        resp.encode().ok()
+    }
+
+    fn processing_us(&self) -> u64 {
+        250
+    }
+}
+
+/// Convenience: build a shared zone set from zones.
+pub fn shared_zones<I: IntoIterator<Item = Zone>>(zones: I) -> SharedZoneSet {
+    let mut set = ZoneSet::new();
+    for z in zones {
+        set.insert(z);
+    }
+    Arc::new(RwLock::new(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_dns::{RData, RType, Record, SoaData};
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn soa() -> SoaData {
+        SoaData {
+            mname: name("ns.op.ru"),
+            rname: name("host.op.ru"),
+            serial: 1,
+            refresh: 1,
+            retry: 1,
+            expire: 1,
+            minimum: 60,
+        }
+    }
+
+    fn example_zone() -> Zone {
+        let mut z = Zone::new(name("example.ru"), soa(), 3600);
+        z.add(Record::new(name("example.ru"), 300, RData::A("192.0.2.10".parse().unwrap())));
+        z.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.dns-op.ru"))));
+        z.add(Record::new(name("www.example.ru"), 300, RData::Cname(name("example.ru"))));
+        z
+    }
+
+    #[test]
+    fn zoneset_deepest_match() {
+        let mut zs = ZoneSet::new();
+        zs.insert(Zone::new(name("ru"), soa(), 3600));
+        zs.insert(example_zone());
+        assert_eq!(zs.find_best(&name("www.example.ru")).unwrap().origin(), &name("example.ru"));
+        assert_eq!(zs.find_best(&name("other.ru")).unwrap().origin(), &name("ru"));
+        assert!(zs.find_best(&name("example.com")).is_none());
+        assert_eq!(zs.len(), 2);
+    }
+
+    #[test]
+    fn answer_a_query() {
+        let zones = shared_zones([example_zone()]);
+        let q = Message::query(1, name("example.ru"), RType::A);
+        let resp = AuthServer::answer(&zones.read(), &q);
+        assert_eq!(resp.flags.rcode, Rcode::NoError);
+        assert!(resp.flags.aa);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn answer_cname_chases_in_zone() {
+        let zones = shared_zones([example_zone()]);
+        let q = Message::query(1, name("www.example.ru"), RType::A);
+        let resp = AuthServer::answer(&zones.read(), &q);
+        // CNAME plus the chased A record.
+        assert_eq!(resp.answers.len(), 2);
+        assert_eq!(resp.answers[0].data.rtype(), RType::Cname);
+        assert_eq!(resp.answers[1].data.rtype(), RType::A);
+    }
+
+    #[test]
+    fn answer_nxdomain_and_nodata() {
+        let zones = shared_zones([example_zone()]);
+        let q = Message::query(1, name("missing.example.ru"), RType::A);
+        let resp = AuthServer::answer(&zones.read(), &q);
+        assert_eq!(resp.flags.rcode, Rcode::NxDomain);
+        assert_eq!(resp.authorities.len(), 1, "negative answers carry the SOA");
+
+        let q = Message::query(1, name("example.ru"), RType::Mx);
+        let resp = AuthServer::answer(&zones.read(), &q);
+        assert_eq!(resp.flags.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert_eq!(resp.authorities.len(), 1);
+    }
+
+    #[test]
+    fn answer_refused_outside_authority() {
+        let zones = shared_zones([example_zone()]);
+        let q = Message::query(1, name("example.com"), RType::A);
+        let resp = AuthServer::answer(&zones.read(), &q);
+        assert_eq!(resp.flags.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn service_behaviors() {
+        let zones = shared_zones([example_zone()]);
+        let mut srv = AuthServer::new(Arc::clone(&zones));
+        let behavior = srv.behavior_handle();
+        let q = Message::query(9, name("example.ru"), RType::A).encode().unwrap();
+        let src = ("10.0.0.1".parse().unwrap(), 40000);
+
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        assert_eq!(Message::decode(&out).unwrap().flags.rcode, Rcode::NoError);
+
+        *behavior.write() = ServerBehavior::Refused;
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        assert_eq!(Message::decode(&out).unwrap().flags.rcode, Rcode::Refused);
+
+        *behavior.write() = ServerBehavior::Silent;
+        assert!(srv.handle(&q, src, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn service_ignores_garbage_and_responses() {
+        let zones = shared_zones([example_zone()]);
+        let mut srv = AuthServer::new(zones);
+        let src = ("10.0.0.1".parse().unwrap(), 40000);
+        assert!(srv.handle(b"not dns", src, SimTime::ZERO).is_none());
+        let q = Message::query(9, name("example.ru"), RType::A);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.flags.qr = true;
+        assert!(srv.handle(&resp.encode().unwrap(), src, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn zone_updates_visible_through_shared_set() {
+        let zones = shared_zones([example_zone()]);
+        let mut srv = AuthServer::new(Arc::clone(&zones));
+        let src = ("10.0.0.1".parse().unwrap(), 40000);
+        let q = Message::query(9, name("example.ru"), RType::A).encode().unwrap();
+
+        // Mutate the zone from "outside" (the world driver's daily update).
+        {
+            let mut g = zones.write();
+            let z = g.get_mut(&name("example.ru")).unwrap();
+            z.remove(&name("example.ru"), Some(RType::A));
+            z.add(Record::new(name("example.ru"), 300, RData::A("198.51.100.99".parse().unwrap())));
+        }
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        let resp = Message::decode(&out).unwrap();
+        assert_eq!(resp.answers[0].data, RData::A("198.51.100.99".parse().unwrap()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. certificate-matching rule: CN-only vs CN+SAN (paper footnote 6);
+//! 2. geolocation snapshot cadence (footnote 5's lag artifact);
+//! 3. resolver caching on vs off (the cost OpenINTEL's daily re-observation
+//!    pays for freshness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruwhere_authdns::IterativeResolver;
+use ruwhere_bench::fixture;
+use ruwhere_dns::{Name, RType};
+use ruwhere_geo::{GeoDbBuilder, LongitudinalGeoDb};
+use ruwhere_scan::{CertDataset, MatchRule};
+use ruwhere_types::{Country, Date, CERT_WINDOW_END, CERT_WINDOW_START};
+use ruwhere_world::{World, WorldConfig};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_match_rule(c: &mut Criterion) {
+    // Rebuild a CT log view under both matching rules; the CN+SAN rule
+    // scans every SAN so it costs more — the ablation quantifies how much.
+    let mut world = World::new(WorldConfig::tiny());
+    world.advance_to(Date::from_ymd(2022, 4, 1));
+    let log = world.ct_log().clone();
+    let mut g = c.benchmark_group("ablation_match_rule");
+    g.bench_function("cn_or_san", |b| {
+        b.iter(|| {
+            black_box(CertDataset::from_log(
+                black_box(&log),
+                CERT_WINDOW_START,
+                CERT_WINDOW_END,
+                MatchRule::CnOrSan,
+            ))
+        })
+    });
+    g.bench_function("cn_only", |b| {
+        b.iter(|| {
+            black_box(CertDataset::from_log(
+                black_box(&log),
+                CERT_WINDOW_START,
+                CERT_WINDOW_END,
+                MatchRule::CnOnly,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_geo_cadence(c: &mut Criterion) {
+    // Dense (daily) vs sparse (monthly) snapshot stacks: lookup cost is
+    // logarithmic in snapshot count, but the dense stack answers with less
+    // lag. The bench measures the lookup side of that trade.
+    let build_stack = |interval_days: i32| -> LongitudinalGeoDb {
+        let mut l = LongitudinalGeoDb::new();
+        let mut d = Date::from_ymd(2021, 6, 1);
+        let end = Date::from_ymd(2022, 5, 25);
+        let mut flip = false;
+        while d <= end {
+            let mut b = GeoDbBuilder::new();
+            b.assign(
+                Ipv4Addr::new(10, 0, 0, 0),
+                Ipv4Addr::new(10, 255, 255, 255),
+                if flip { Country::RU } else { Country::SE },
+            );
+            flip = !flip;
+            l.add_snapshot(d, b.build());
+            d = d.add_days(interval_days);
+        }
+        l
+    };
+    let daily = build_stack(1);
+    let monthly = build_stack(30);
+    let probe: Ipv4Addr = Ipv4Addr::new(10, 1, 2, 3);
+    let dates: Vec<Date> = Date::from_ymd(2022, 1, 1)
+        .to(Date::from_ymd(2022, 5, 25))
+        .collect();
+    let mut g = c.benchmark_group("ablation_geo_cadence");
+    g.bench_function("daily_snapshots", |b| {
+        b.iter(|| {
+            let mut ru = 0;
+            for d in &dates {
+                if daily.lookup(*d, probe) == Some(Country::RU) {
+                    ru += 1;
+                }
+            }
+            black_box(ru)
+        })
+    });
+    g.bench_function("monthly_snapshots", |b| {
+        b.iter(|| {
+            let mut ru = 0;
+            for d in &dates {
+                if monthly.lookup(*d, probe) == Some(Country::RU) {
+                    ru += 1;
+                }
+            }
+            black_box(ru)
+        })
+    });
+    g.finish();
+}
+
+fn bench_resolver_cache(c: &mut Criterion) {
+    let mut world = World::new(WorldConfig::tiny());
+    world.publish_tld_zones();
+    let seeds = world.seed_names();
+    let batch: Vec<Name> = seeds.iter().take(50).map(Name::from).collect();
+    let mut g = c.benchmark_group("ablation_resolver_cache");
+    g.sample_size(10);
+    g.bench_function("batch50_cache_cleared_each_domain", |b| {
+        let mut resolver = IterativeResolver::new(world.scanner_ip(), world.root_hints());
+        b.iter(|| {
+            for name in &batch {
+                resolver.clear_cache();
+                let _ = black_box(resolver.resolve(world.network_mut(), name, RType::A));
+            }
+        })
+    });
+    g.bench_function("batch50_cache_shared_across_batch", |b| {
+        let mut resolver = IterativeResolver::new(world.scanner_ip(), world.root_hints());
+        b.iter(|| {
+            resolver.clear_cache();
+            for name in &batch {
+                let _ = black_box(resolver.resolve(world.network_mut(), name, RType::A));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sanctioned_filter(c: &mut Criterion) {
+    // Figure 5's dated-sanctions filter vs a static set: the dated filter
+    // re-evaluates listing dates per record.
+    let r = fixture();
+    let sweep = r.final_sweep().unwrap();
+    let static_set: Vec<ruwhere_types::DomainName> =
+        r.sanctions.iter().map(|(d, _, _)| d.clone()).collect();
+    let mut g = c.benchmark_group("ablation_sanctions_filter");
+    g.bench_function("dated_filter", |b| {
+        b.iter(|| {
+            let mut s = ruwhere_core::composition::CompositionSeries::sanctioned(
+                ruwhere_core::composition::InfraKind::NameServers,
+                r.sanctions.clone(),
+            );
+            s.observe(black_box(sweep));
+            black_box(s)
+        })
+    });
+    g.bench_function("static_filter", |b| {
+        b.iter(|| {
+            let mut s = ruwhere_core::composition::CompositionSeries::filtered(
+                ruwhere_core::composition::InfraKind::NameServers,
+                static_set.clone(),
+            );
+            s.observe(black_box(sweep));
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_match_rule,
+    bench_geo_cadence,
+    bench_resolver_cache,
+    bench_sanctioned_filter
+);
+criterion_main!(benches);

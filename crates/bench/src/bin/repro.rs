@@ -1,0 +1,253 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p ruwhere-bench --bin repro -- [--scale N] [--full] [--out DIR]
+//! ```
+//!
+//! * `--scale N`  world scale denominator (default 1000 ⇒ ≈5 k domains;
+//!   the paper-faithful setting is 100 ⇒ ≈50 k domains, slower).
+//! * `--full`     simulate the full 2017-06-18 → 2022-05-25 window with
+//!   weekly pre-2022 sweeps (default: 2021-11-01 → 2022-05-25, which
+//!   covers every figure's active region).
+//! * `--out DIR`  also write each artifact to `DIR/<id>.txt`.
+//! * `--ablation-geolag`  instead of the full study, run the footnote-5
+//!   A/B comparison (IP reconfiguration vs prefix move for the Netnod
+//!   event) as two parallel studies and print the composition around
+//!   2022-03-03 under each model.
+
+use ruwhere_core::figures;
+use ruwhere_core::{run_study, StudyConfig};
+use ruwhere_types::{Asn, Date};
+use ruwhere_world::WorldConfig;
+use std::io::Write;
+
+struct Args {
+    scale: usize,
+    full: bool,
+    out: Option<std::path::PathBuf>,
+    ablation_geolag: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1000,
+        full: false,
+        out: None,
+        ablation_geolag: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--full" => args.full = true,
+            "--ablation-geolag" => args.ablation_geolag = true,
+            "--out" => {
+                args.out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --out"))
+                        .into(),
+                );
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: repro [--scale N] [--full] [--out DIR]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Run the footnote-5 ablation: two studies in parallel, identical except
+/// for how the Netnod event manifests in the network.
+fn run_geolag_ablation(scale: usize) {
+    let build_cfg = |prefix_move: bool| {
+        let mut world = WorldConfig::paper_scale(scale);
+        world.start = Date::from_ymd(2022, 2, 1);
+        world.cert_start = Date::from_ymd(2022, 2, 1);
+        world.end = Date::from_ymd(2022, 4, 15);
+        world.netnod_prefix_move = prefix_move;
+        // Sparse vendor refreshes make the lag unmistakable.
+        world.geo_snapshot_interval_days = 28;
+        let mut cfg = StudyConfig::paper_schedule(world);
+        cfg.daily_from = Date::from_ymd(2022, 2, 20);
+        cfg.ip_scans.clear();
+        cfg
+    };
+    eprintln!("ablation: running both Netnod models in parallel…");
+    let t0 = std::time::Instant::now();
+    let (reconf, moved) = crossbeam::thread::scope(|s| {
+        let a = s.spawn(|_| run_study(&build_cfg(false)));
+        let b = s.spawn(|_| run_study(&build_cfg(true)));
+        (a.join().expect("reconf study"), b.join().expect("move study"))
+    })
+    .expect("scope");
+    eprintln!("both studies done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut t = ruwhere_core::Table::new(
+        "Footnote-5 ablation: measured partial-NS share around the Netnod event",
+        &["date", "IP reconfiguration (default)", "prefix move (geo lags)"],
+    );
+    for d in Date::from_ymd(2022, 2, 28).to(Date::from_ymd(2022, 4, 10)) {
+        let (Some(a), Some(b)) = (reconf.ns_composition.at(d), moved.ns_composition.at(d))
+        else {
+            continue;
+        };
+        if d.day() % 3 != 0 && d != Date::from_ymd(2022, 3, 3) {
+            continue; // thin the table
+        }
+        t.row([
+            d.to_string(),
+            format!("{:.2}%", a.pct_partial()),
+            format!("{:.2}%", b.pct_partial()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Under the prefix-move model the partial share only falls at the next\n\
+         geolocation snapshot — the measurement 'lags behind' exactly as the\n\
+         paper's footnote 5 warns. The default (IP reconfiguration) model\n\
+         matches the paper's observed same-day transition."
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.ablation_geolag {
+        run_geolag_ablation(args.scale.max(1000));
+        return;
+    }
+    let mut world = WorldConfig::paper_scale(args.scale);
+    if !args.full {
+        // The condensed window still covers: all of the cert analysis
+        // (2022-01-01 → 05-15), every §3 event, and enough pre-conflict
+        // baseline for composition levels.
+        world.start = Date::from_ymd(2021, 11, 1);
+        world.cert_start = Date::from_ymd(2021, 11, 1);
+    }
+    let mut cfg = StudyConfig::paper_schedule(world);
+    cfg.verbose = true;
+
+    eprintln!(
+        "repro: scale 1:{} ({} initial domains), {} sweeps ({} → {})",
+        args.scale,
+        cfg.world.initial_population,
+        cfg.sweep_dates().len(),
+        cfg.world.start,
+        cfg.world.end
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_study(&cfg);
+    eprintln!(
+        "study complete in {:.1}s — {} sweeps, {} DNS queries, {} certs indexed",
+        t0.elapsed().as_secs_f64(),
+        results.sweeps_run,
+        results.total_queries,
+        results.certs.len()
+    );
+
+    let mut artifacts: Vec<(String, String)> = Vec::new();
+    let end = results
+        .retained
+        .keys()
+        .next_back()
+        .copied()
+        .expect("study retained sweeps");
+
+    artifacts.push(("dataset_stats".into(), figures::dataset_table(&results).render()));
+    artifacts.push(("fig1_series".into(), figures::fig1_series(&results).render()));
+    artifacts.push(("fig1_summary".into(), figures::fig1_summary(&results).render()));
+    artifacts.push(("hosting_summary".into(), figures::hosting_summary(&results).render()));
+    artifacts.push(("fig2_series".into(), figures::fig2_series(&results).render()));
+    artifacts.push(("fig2_summary".into(), figures::fig2_summary(&results).render()));
+    artifacts.push(("fig3_series".into(), figures::fig3_series(&results).render()));
+    artifacts.push(("fig3_summary".into(), figures::fig3_summary(&results).render()));
+    artifacts.push(("fig4_series".into(), figures::fig4_series(&results).render()));
+    artifacts.push(("fig5_series".into(), figures::fig5_series(&results).render()));
+    artifacts.push(("fig5_summary".into(), figures::fig5_summary(&results).render()));
+
+    if let Some((t, _)) = figures::movement_table(
+        &results,
+        Asn::AMAZON,
+        "Figure 6",
+        Date::from_ymd(2022, 3, 8),
+        end,
+        ">50% relocated, 43% remained, 574 new + 988 relocated in",
+    ) {
+        artifacts.push(("fig6_amazon".into(), t.render()));
+    }
+    if let Some((t, _)) = figures::movement_table(
+        &results,
+        Asn::SEDO,
+        "Figure 7",
+        Date::from_ymd(2022, 3, 8),
+        end,
+        "98% relocated, 2.7k remained, 311 in",
+    ) {
+        artifacts.push(("fig7_sedo".into(), t.render()));
+    }
+    artifacts.push((
+        "provider_actions".into(),
+        figures::provider_actions_table(&results).render(),
+    ));
+
+    let (fig8, _) = figures::fig8_table(&results);
+    artifacts.push(("fig8_ca_timelines".into(), fig8.render()));
+    artifacts.push(("tab1_issuance".into(), figures::table1(&results).render()));
+    artifacts.push(("cert_volume".into(), figures::cert_volume_table(&results).render()));
+    artifacts.push(("tab2_revocation".into(), figures::table2(&results).render()));
+    if let Some(t) = figures::russian_ca_table(&results) {
+        artifacts.push(("sec4_3_russian_ca".into(), t.render()));
+    }
+    artifacts.push(("transition_flows".into(), figures::transition_table(&results).render()));
+    artifacts.push(("sec6_discussion".into(), figures::discussion_table(&results).render()));
+
+    for (id, text) in &artifacts {
+        println!("=== {id} ===");
+        println!("{text}");
+    }
+
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        for (id, text) in &artifacts {
+            let path = dir.join(format!("{id}.txt"));
+            let mut f = std::fs::File::create(&path).expect("create artifact file");
+            f.write_all(text.as_bytes()).expect("write artifact");
+        }
+        // Plottable figures: TSV + gnuplot script pairs.
+        use ruwhere_core::{gnuplot_script, PlotSpec};
+        let plots = [
+            (figures::fig1_series(&results), PlotSpec::percent("fig1.png", "Figure 1: NS country composition")),
+            (figures::fig2_series(&results), PlotSpec::percent("fig2.png", "Figure 2: NS TLD-dependency composition")),
+            (figures::fig3_series(&results), PlotSpec::percent("fig3.png", "Figure 3: top-5 NS TLD usage")),
+            (figures::fig4_series(&results), PlotSpec::percent("fig4.png", "Figure 4: hosting-network shares")),
+            (figures::fig5_series(&results), PlotSpec::percent("fig5.png", "Figure 5: sanctioned NS composition")),
+        ];
+        for (i, (series, spec)) in plots.iter().enumerate() {
+            let base = format!("fig{}", i + 1);
+            std::fs::write(dir.join(format!("{base}.tsv")), series.render())
+                .expect("write tsv");
+            std::fs::write(
+                dir.join(format!("{base}.gnuplot")),
+                gnuplot_script(series, &format!("{base}.tsv"), spec),
+            )
+            .expect("write gnuplot script");
+        }
+        eprintln!(
+            "wrote {} artifacts + {} plot scripts to {}",
+            artifacts.len(),
+            plots.len(),
+            dir.display()
+        );
+    }
+}

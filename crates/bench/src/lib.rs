@@ -1,0 +1,18 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Building a world and sweeping it is expensive; benches build one shared
+//! fixture per process and measure the per-figure analysis code against it.
+
+use ruwhere_core::{run_study, StudyConfig, StudyResults};
+use ruwhere_types::Date;
+use std::sync::OnceLock;
+
+/// A cached tiny study spanning the conflict window.
+pub fn fixture() -> &'static StudyResults {
+    static FIXTURE: OnceLock<StudyResults> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut cfg = StudyConfig::test_schedule();
+        cfg.daily_from = Date::from_ymd(2022, 2, 20);
+        run_study(&cfg)
+    })
+}

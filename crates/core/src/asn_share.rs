@@ -1,0 +1,175 @@
+//! Hosting-network shares (Figure 4).
+//!
+//! For each date and each ASN, the fraction of Russian Federation domains
+//! whose apex A records resolve into that ASN.
+
+use ruwhere_scan::DailySweep;
+use ruwhere_types::{Asn, Date};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Longitudinal per-ASN share accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsnShareSeries {
+    days: BTreeMap<Date, BTreeMap<Asn, u64>>,
+    totals: BTreeMap<Date, u64>,
+}
+
+impl AsnShareSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one sweep: a domain counts toward every ASN any of its apex
+    /// A records resolves into (split-hosted domains count in both, as in
+    /// the paper's "domains resolving to Amazon's ASN").
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        let mut counts: BTreeMap<Asn, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for rec in &sweep.domains {
+            if rec.apex_addrs.is_empty() {
+                continue;
+            }
+            total += 1;
+            let mut asns: Vec<Asn> = rec.apex_addrs.iter().filter_map(|a| a.asn).collect();
+            asns.sort_unstable();
+            asns.dedup();
+            for a in asns {
+                *counts.entry(a).or_default() += 1;
+            }
+        }
+        self.days.insert(sweep.date, counts);
+        self.totals.insert(sweep.date, total);
+    }
+
+    /// Number of domains in `asn` on `date`.
+    pub fn count(&self, date: Date, asn: Asn) -> u64 {
+        self.days
+            .get(&date)
+            .and_then(|m| m.get(&asn))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Share (%) of resolving domains in `asn` on `date`.
+    pub fn share(&self, date: Date, asn: Asn) -> Option<f64> {
+        let total = *self.totals.get(&date)? as f64;
+        Some(100.0 * self.count(date, asn) as f64 / total.max(1.0))
+    }
+
+    /// Distinct ASNs hosting at least one domain across all dates — the
+    /// paper's "13.3 k unique networks" statistic (§2), scaled.
+    pub fn distinct_asns(&self) -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for m in self.days.values() {
+            set.extend(m.keys().copied());
+        }
+        set.len()
+    }
+
+    /// The top `n` ASNs by count on the final observed date.
+    pub fn top_asns(&self, n: usize) -> Vec<Asn> {
+        let Some(last) = self.days.values().next_back() else {
+            return Vec::new();
+        };
+        let mut v: Vec<(&Asn, &u64)> = last.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        v.into_iter().take(n).map(|(a, _)| *a).collect()
+    }
+
+    /// Observed dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
+        self.days.keys().copied()
+    }
+
+    /// Total resolving domains on `date`.
+    pub fn total(&self, date: Date) -> Option<u64> {
+        self.totals.get(&date).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_scan::{AddrInfo, DomainDay, SweepStats};
+
+    fn rec(domain: &str, asns: &[u32]) -> DomainDay {
+        DomainDay {
+            domain: domain.parse().unwrap(),
+            ns_names: vec![],
+            ns_addrs: vec![],
+            apex_addrs: asns
+                .iter()
+                .enumerate()
+                .map(|(i, a)| AddrInfo {
+                    ip: format!("10.0.0.{}", i + 1).parse().unwrap(),
+                    country: None,
+                    asn: Some(Asn(*a)),
+                })
+                .collect(),
+        }
+    }
+
+    fn sweep(date: Date, domains: Vec<DomainDay>) -> DailySweep {
+        DailySweep {
+            date,
+            domains,
+            stats: SweepStats::default(),
+        }
+    }
+
+    #[test]
+    fn shares() {
+        let d = Date::from_ymd(2022, 3, 8);
+        let mut s = AsnShareSeries::new();
+        s.observe(&sweep(
+            d,
+            vec![
+                rec("a.ru", &[16509]),
+                rec("b.ru", &[16509]),
+                rec("c.ru", &[13335]),
+                rec("d.ru", &[]), // unresolved: excluded from the total
+            ],
+        ));
+        assert_eq!(s.total(d), Some(3));
+        assert_eq!(s.count(d, Asn(16509)), 2);
+        assert!((s.share(d, Asn(16509)).unwrap() - 66.666).abs() < 0.01);
+        assert!((s.share(d, Asn(13335)).unwrap() - 33.333).abs() < 0.01);
+        assert_eq!(s.share(d, Asn(1)), Some(0.0));
+        assert_eq!(s.distinct_asns(), 2);
+    }
+
+    #[test]
+    fn split_hosting_counts_in_both() {
+        let d = Date::from_ymd(2022, 3, 8);
+        let mut s = AsnShareSeries::new();
+        s.observe(&sweep(d, vec![rec("a.ru", &[16509, 47846])]));
+        assert_eq!(s.count(d, Asn(16509)), 1);
+        assert_eq!(s.count(d, Asn(47846)), 1);
+        assert_eq!(s.total(d), Some(1));
+    }
+
+    #[test]
+    fn duplicate_asn_counts_once() {
+        let d = Date::from_ymd(2022, 3, 8);
+        let mut s = AsnShareSeries::new();
+        s.observe(&sweep(d, vec![rec("a.ru", &[16509, 16509])]));
+        assert_eq!(s.count(d, Asn(16509)), 1);
+    }
+
+    #[test]
+    fn top_asns_on_last_date() {
+        let mut s = AsnShareSeries::new();
+        s.observe(&sweep(
+            Date::from_ymd(2022, 3, 1),
+            vec![rec("a.ru", &[1]), rec("b.ru", &[1]), rec("c.ru", &[2])],
+        ));
+        s.observe(&sweep(
+            Date::from_ymd(2022, 4, 1),
+            vec![rec("a.ru", &[2]), rec("b.ru", &[2]), rec("c.ru", &[1])],
+        ));
+        assert_eq!(s.top_asns(1), vec![Asn(2)]);
+        assert_eq!(s.dates().count(), 2);
+    }
+}

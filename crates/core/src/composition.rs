@@ -1,0 +1,347 @@
+//! Full / partial / non Russian composition classification (Figures 1, 5;
+//! §3.1 hosting text).
+//!
+//! > "We label a domain as fully Russian-hosted if all of its A records
+//! > geolocate inside the Russian Federation, partial if only a subset are
+//! > in Russia, or non (Russian) if all such records are located outside
+//! > the Russian Federation. Name service is similarly labeled based on
+//! > geolocating the authoritative name servers for the domain." — §3.1
+
+use ruwhere_scan::{DailySweep, DomainDay};
+use ruwhere_types::{Country, Date, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The three-way label (plus `Unknown` for domains that did not resolve or
+/// geolocate at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Composition {
+    /// All addresses geolocate to the Russian Federation.
+    Full,
+    /// A proper subset geolocates to Russia.
+    Partial,
+    /// No address geolocates to Russia.
+    Non,
+    /// No address data (resolution failure or geolocation gap).
+    Unknown,
+}
+
+impl Composition {
+    /// Classify a set of per-address country observations.
+    ///
+    /// Addresses with unknown geolocation are ignored unless *all* are
+    /// unknown (mirroring how the paper handles the "small percentage of
+    /// disagreement", footnote 5).
+    pub fn classify<I: IntoIterator<Item = Option<Country>>>(countries: I) -> Composition {
+        let mut russian = 0usize;
+        let mut other = 0usize;
+        for c in countries {
+            match c {
+                Some(c) if c.is_russia() => russian += 1,
+                Some(_) => other += 1,
+                None => {}
+            }
+        }
+        match (russian, other) {
+            (0, 0) => Composition::Unknown,
+            (_, 0) => Composition::Full,
+            (0, _) => Composition::Non,
+            _ => Composition::Partial,
+        }
+    }
+}
+
+/// Which infrastructure the composition describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InfraKind {
+    /// Authoritative name-server addresses (Figures 1 and 5).
+    NameServers,
+    /// Apex A records — web hosting (§3.1 text).
+    Hosting,
+}
+
+/// Per-date composition counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompositionCounts {
+    /// Fully Russian.
+    pub full: u64,
+    /// Partially Russian.
+    pub partial: u64,
+    /// Not Russian.
+    pub non: u64,
+    /// No data.
+    pub unknown: u64,
+}
+
+impl CompositionCounts {
+    /// Total classified domains (including unknown).
+    pub fn total(&self) -> u64 {
+        self.full + self.partial + self.non + self.unknown
+    }
+
+    /// Total with usable data.
+    pub fn known(&self) -> u64 {
+        self.full + self.partial + self.non
+    }
+
+    /// Percentage helpers over the known set.
+    pub fn pct_full(&self) -> f64 {
+        100.0 * self.full as f64 / self.known().max(1) as f64
+    }
+
+    /// Partial percentage.
+    pub fn pct_partial(&self) -> f64 {
+        100.0 * self.partial as f64 / self.known().max(1) as f64
+    }
+
+    /// Non percentage.
+    pub fn pct_non(&self) -> f64 {
+        100.0 * self.non as f64 / self.known().max(1) as f64
+    }
+
+    fn bump(&mut self, c: Composition) {
+        match c {
+            Composition::Full => self.full += 1,
+            Composition::Partial => self.partial += 1,
+            Composition::Non => self.non += 1,
+            Composition::Unknown => self.unknown += 1,
+        }
+    }
+}
+
+/// Domain filter for a composition series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Filter {
+    /// Whole population.
+    All,
+    /// A fixed subset.
+    Static(std::collections::BTreeSet<DomainName>),
+    /// Domains sanctioned as of each sweep's date (Figure 5's growing
+    /// denominator).
+    Sanctions(ruwhere_registry::SanctionsList),
+}
+
+impl Filter {
+    fn accepts(&self, domain: &DomainName, date: Date) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Static(set) => set.contains(domain),
+            Filter::Sanctions(list) => list.is_sanctioned(domain, date),
+        }
+    }
+}
+
+/// A longitudinal composition accumulator. Feed it one [`DailySweep`] per
+/// measurement day; read out the per-date series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompositionSeries {
+    kind: InfraKind,
+    filter: Filter,
+    days: BTreeMap<Date, CompositionCounts>,
+}
+
+impl CompositionSeries {
+    /// Full-population series for `kind`.
+    pub fn new(kind: InfraKind) -> Self {
+        CompositionSeries {
+            kind,
+            filter: Filter::All,
+            days: BTreeMap::new(),
+        }
+    }
+
+    /// Series restricted to a fixed set of `domains`.
+    pub fn filtered(kind: InfraKind, domains: Vec<DomainName>) -> Self {
+        CompositionSeries {
+            kind,
+            filter: Filter::Static(domains.into_iter().collect()),
+            days: BTreeMap::new(),
+        }
+    }
+
+    /// Series restricted to the domains sanctioned as of each sweep date
+    /// (Figure 5).
+    pub fn sanctioned(kind: InfraKind, list: ruwhere_registry::SanctionsList) -> Self {
+        CompositionSeries {
+            kind,
+            filter: Filter::Sanctions(list),
+            days: BTreeMap::new(),
+        }
+    }
+
+    fn countries_of<'a>(&self, rec: &'a DomainDay) -> impl Iterator<Item = Option<Country>> + 'a {
+        let addrs = match self.kind {
+            InfraKind::NameServers => &rec.ns_addrs,
+            InfraKind::Hosting => &rec.apex_addrs,
+        };
+        addrs.iter().map(|a| a.country)
+    }
+
+    /// Classify one domain record under this series' kind.
+    pub fn classify_record(&self, rec: &DomainDay) -> Composition {
+        Composition::classify(self.countries_of(rec))
+    }
+
+    /// Consume one sweep.
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        let mut counts = CompositionCounts::default();
+        for rec in &sweep.domains {
+            if !self.filter.accepts(&rec.domain, sweep.date) {
+                continue;
+            }
+            counts.bump(self.classify_record(rec));
+        }
+        self.days.insert(sweep.date, counts);
+    }
+
+    /// Per-date counts, in date order.
+    pub fn rows(&self) -> impl Iterator<Item = (Date, &CompositionCounts)> {
+        self.days.iter().map(|(d, c)| (*d, c))
+    }
+
+    /// Counts on one date.
+    pub fn at(&self, date: Date) -> Option<&CompositionCounts> {
+        self.days.get(&date)
+    }
+
+    /// First and last observed rows (for net-change summaries).
+    pub fn extrema(&self) -> Option<((Date, CompositionCounts), (Date, CompositionCounts))> {
+        let first = self.days.iter().next()?;
+        let last = self.days.iter().next_back()?;
+        Some(((*first.0, *first.1), (*last.0, *last.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_scan::{AddrInfo, SweepStats};
+    use ruwhere_types::Asn;
+
+    fn addr(ip: &str, cc: Option<&str>) -> AddrInfo {
+        AddrInfo {
+            ip: ip.parse().unwrap(),
+            country: cc.map(|c| c.parse().unwrap()),
+            asn: Some(Asn(1)),
+        }
+    }
+
+    fn rec(domain: &str, ns_cc: &[Option<&str>], apex_cc: &[Option<&str>]) -> DomainDay {
+        DomainDay {
+            domain: domain.parse().unwrap(),
+            ns_names: vec![],
+            ns_addrs: ns_cc
+                .iter()
+                .enumerate()
+                .map(|(i, cc)| addr(&format!("10.0.0.{}", i + 1), *cc))
+                .collect(),
+            apex_addrs: apex_cc
+                .iter()
+                .enumerate()
+                .map(|(i, cc)| addr(&format!("10.0.1.{}", i + 1), *cc))
+                .collect(),
+        }
+    }
+
+    fn sweep(date: Date, domains: Vec<DomainDay>) -> DailySweep {
+        DailySweep {
+            date,
+            domains,
+            stats: SweepStats::default(),
+        }
+    }
+
+    #[test]
+    fn classification_rules() {
+        assert_eq!(
+            Composition::classify([Some(Country::RU), Some(Country::RU)]),
+            Composition::Full
+        );
+        assert_eq!(
+            Composition::classify([Some(Country::RU), Some(Country::SE)]),
+            Composition::Partial
+        );
+        assert_eq!(
+            Composition::classify([Some(Country::US), Some(Country::DE)]),
+            Composition::Non
+        );
+        assert_eq!(Composition::classify([]), Composition::Unknown);
+        assert_eq!(Composition::classify([None, None]), Composition::Unknown);
+        // Unknown geolocations do not poison an otherwise-full set.
+        assert_eq!(
+            Composition::classify([Some(Country::RU), None]),
+            Composition::Full
+        );
+    }
+
+    #[test]
+    fn series_accumulates_by_kind() {
+        let d = Date::from_ymd(2022, 3, 1);
+        let records = vec![
+            rec("a.ru", &[Some("RU"), Some("RU")], &[Some("US")]),
+            rec("b.ru", &[Some("RU"), Some("SE")], &[Some("RU")]),
+            rec("c.ru", &[Some("US")], &[Some("RU"), Some("NL")]),
+            rec("d.ru", &[], &[]),
+        ];
+        let s = sweep(d, records);
+
+        let mut ns = CompositionSeries::new(InfraKind::NameServers);
+        ns.observe(&s);
+        let c = ns.at(d).unwrap();
+        assert_eq!((c.full, c.partial, c.non, c.unknown), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.known(), 3);
+
+        let mut hosting = CompositionSeries::new(InfraKind::Hosting);
+        hosting.observe(&s);
+        let c = hosting.at(d).unwrap();
+        assert_eq!((c.full, c.partial, c.non, c.unknown), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn filtered_series() {
+        let d = Date::from_ymd(2022, 3, 1);
+        let s = sweep(
+            d,
+            vec![
+                rec("sanctioned.ru", &[Some("RU")], &[]),
+                rec("ordinary.ru", &[Some("US")], &[]),
+            ],
+        );
+        let mut f = CompositionSeries::filtered(
+            InfraKind::NameServers,
+            vec!["sanctioned.ru".parse().unwrap()],
+        );
+        f.observe(&s);
+        let c = f.at(d).unwrap();
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.full, 1);
+    }
+
+    #[test]
+    fn percentages_and_extrema() {
+        let d1 = Date::from_ymd(2022, 2, 1);
+        let d2 = Date::from_ymd(2022, 3, 1);
+        let mut series = CompositionSeries::new(InfraKind::NameServers);
+        series.observe(&sweep(
+            d1,
+            vec![
+                rec("a.ru", &[Some("RU")], &[]),
+                rec("b.ru", &[Some("US")], &[]),
+            ],
+        ));
+        series.observe(&sweep(
+            d2,
+            vec![
+                rec("a.ru", &[Some("RU")], &[]),
+                rec("b.ru", &[Some("RU")], &[]),
+            ],
+        ));
+        let ((fd, fc), (ld, lc)) = series.extrema().unwrap();
+        assert_eq!(fd, d1);
+        assert_eq!(ld, d2);
+        assert!((fc.pct_full() - 50.0).abs() < 1e-9);
+        assert!((lc.pct_full() - 100.0).abs() < 1e-9);
+        assert_eq!(series.rows().count(), 2);
+    }
+}

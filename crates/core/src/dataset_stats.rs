@@ -1,0 +1,112 @@
+//! Dataset-scale statistics (paper §2):
+//!
+//! > "Our dataset contains 11.7 M unique Russian Federation domain names,
+//! > and 13.3 k and 9.5 k unique networks (AS numbers) that, respectively,
+//! > hosted domain apexes or authoritative DNS infrastructure."
+
+use ruwhere_scan::DailySweep;
+use ruwhere_types::{Asn, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Accumulates unique names and networks across all sweeps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatasetStats {
+    unique_domains: BTreeSet<DomainName>,
+    hosting_asns: BTreeSet<Asn>,
+    dns_asns: BTreeSet<Asn>,
+    sweeps: u64,
+    records: u64,
+}
+
+impl DatasetStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one sweep.
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        self.sweeps += 1;
+        for rec in &sweep.domains {
+            self.records += 1;
+            self.unique_domains.insert(rec.domain.clone());
+            for a in &rec.apex_addrs {
+                if let Some(asn) = a.asn {
+                    self.hosting_asns.insert(asn);
+                }
+            }
+            for a in &rec.ns_addrs {
+                if let Some(asn) = a.asn {
+                    self.dns_asns.insert(asn);
+                }
+            }
+        }
+    }
+
+    /// Unique domain names ever observed (paper: 11.7 M).
+    pub fn unique_domains(&self) -> usize {
+        self.unique_domains.len()
+    }
+
+    /// Unique apex-hosting ASNs (paper: 13.3 k).
+    pub fn hosting_asns(&self) -> usize {
+        self.hosting_asns.len()
+    }
+
+    /// Unique authoritative-DNS ASNs (paper: 9.5 k).
+    pub fn dns_asns(&self) -> usize {
+        self.dns_asns.len()
+    }
+
+    /// Total sweeps consumed.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Total domain-day records consumed.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_scan::{AddrInfo, DomainDay, SweepStats};
+    use ruwhere_types::Date;
+
+    fn rec(domain: &str, apex_asn: u32, ns_asn: u32) -> DomainDay {
+        let mk = |asn: u32| AddrInfo {
+            ip: "10.0.0.1".parse().unwrap(),
+            country: None,
+            asn: Some(Asn(asn)),
+        };
+        DomainDay {
+            domain: domain.parse().unwrap(),
+            ns_names: vec![],
+            ns_addrs: vec![mk(ns_asn)],
+            apex_addrs: vec![mk(apex_asn)],
+        }
+    }
+
+    #[test]
+    fn accumulates_across_sweeps() {
+        let mut stats = DatasetStats::new();
+        stats.observe(&DailySweep {
+            date: Date::from_ymd(2022, 1, 1),
+            domains: vec![rec("a.ru", 1, 10), rec("b.ru", 2, 10)],
+            stats: SweepStats::default(),
+        });
+        stats.observe(&DailySweep {
+            date: Date::from_ymd(2022, 1, 2),
+            domains: vec![rec("a.ru", 1, 11), rec("c.ru", 3, 12)],
+            stats: SweepStats::default(),
+        });
+        assert_eq!(stats.unique_domains(), 3);
+        assert_eq!(stats.hosting_asns(), 3);
+        assert_eq!(stats.dns_asns(), 3);
+        assert_eq!(stats.sweeps(), 2);
+        assert_eq!(stats.records(), 4);
+    }
+}

@@ -1,0 +1,268 @@
+//! The end-to-end study harness: build a world, run the measurement
+//! schedule, and collect every analysis the paper reports.
+//!
+//! The paper's dataset is daily for five years; at reproduction scale we
+//! sweep weekly before the certificate window and daily from 2022 onward,
+//! which preserves every figure's temporal structure (the 2022 events are
+//! all at daily granularity) at a fraction of the cost. The cadence is
+//! configurable.
+
+use crate::asn_share::AsnShareSeries;
+use crate::ca_issuance::CaIssuanceAnalysis;
+use crate::composition::{CompositionSeries, InfraKind};
+use crate::dataset_stats::DatasetStats;
+use crate::revocation::RevocationAnalysis;
+use crate::russian_ca::RussianCaAnalysis;
+use crate::tld_dependency::{TldDependencySeries, TldUsageSeries};
+use crate::transitions::TransitionFlows;
+use ruwhere_registry::SanctionsList;
+use ruwhere_scan::{CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner};
+use ruwhere_types::{Date, CERT_WINDOW_END, CERT_WINDOW_START};
+use ruwhere_world::{World, WorldConfig};
+use std::collections::BTreeMap;
+
+/// Measurement schedule and retention configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// World configuration (scale, windows, behaviour).
+    pub world: WorldConfig,
+    /// Sweep weekly before this date, daily from it on.
+    pub daily_from: Date,
+    /// Extra dates whose full sweeps are retained for movement analysis
+    /// (the first and last sweeps are always retained).
+    pub retain: Vec<Date>,
+    /// Dates to run IP-wide TLS scans (the last one feeds §4.3).
+    pub ip_scans: Vec<Date>,
+    /// Measurement-outage dates: the sweep runs but loses most of its
+    /// records, producing the kind of dip the paper flags in Figure 1
+    /// ("The dip on March 22, 2021 is a measurement outage", footnote 8).
+    pub outages: Vec<Date>,
+    /// Print progress to stderr.
+    pub verbose: bool,
+}
+
+impl StudyConfig {
+    /// The paper's schedule against a given world configuration.
+    pub fn paper_schedule(world: WorldConfig) -> Self {
+        let daily_from = Date::from_ymd(2022, 1, 1).max(world.start);
+        let retain = vec![
+            Date::from_ymd(2022, 2, 23),
+            Date::from_ymd(2022, 3, 7),
+            Date::from_ymd(2022, 3, 8),
+            Date::from_ymd(2022, 3, 10),
+            world.end,
+        ];
+        let ip_scans = vec![
+            Date::from_ymd(2022, 3, 15),
+            Date::from_ymd(2022, 4, 15),
+            CERT_WINDOW_END,
+        ];
+        StudyConfig {
+            world,
+            daily_from,
+            retain,
+            ip_scans,
+            outages: vec![Date::from_ymd(2021, 3, 22)],
+            verbose: false,
+        }
+    }
+
+    /// A fast schedule for tests: tiny world, daily sweeps only from
+    /// mid-February, fewer IP scans.
+    pub fn test_schedule() -> Self {
+        let world = WorldConfig::tiny();
+        let mut cfg = Self::paper_schedule(world);
+        cfg.daily_from = Date::from_ymd(2022, 2, 20);
+        cfg
+    }
+
+    /// The sweep dates implied by the cadence.
+    pub fn sweep_dates(&self) -> Vec<Date> {
+        let mut dates = Vec::new();
+        let mut d = self.world.start;
+        while d < self.daily_from.min(self.world.end) {
+            dates.push(d);
+            d = d.add_days(7);
+        }
+        let mut d = self.daily_from.max(self.world.start);
+        while d <= self.world.end {
+            dates.push(d);
+            d = d.succ();
+        }
+        dates.dedup();
+        dates
+    }
+}
+
+/// Everything the analyses produce, ready for figure/table rendering.
+pub struct StudyResults {
+    /// Figure 1: NS-infrastructure country composition.
+    pub ns_composition: CompositionSeries,
+    /// §3.1 text: hosting composition.
+    pub hosting_composition: CompositionSeries,
+    /// Figure 5: sanctioned domains' NS composition.
+    pub sanctioned_ns: CompositionSeries,
+    /// Figure 2: NS TLD-dependency composition.
+    pub tld_dependency: TldDependencySeries,
+    /// Figure 3: per-TLD NS usage.
+    pub tld_usage: TldUsageSeries,
+    /// Figure 4: hosting ASN shares.
+    pub asn_share: AsnShareSeries,
+    /// Retained sweeps for movement analysis (Figures 6, 7; §3.4).
+    pub retained: BTreeMap<Date, DailySweep>,
+    /// §4 certificate dataset (CT index over the analysis window).
+    pub certs: CertDataset,
+    /// Figure 8 / Table 1 analysis.
+    pub issuance: CaIssuanceAnalysis,
+    /// Table 2 analysis.
+    pub revocation: RevocationAnalysis,
+    /// §4.3 analysis (from the final IP scan).
+    pub russian_ca: Option<RussianCaAnalysis>,
+    /// All IP scans that ran.
+    pub ip_scans: Vec<IpScanSnapshot>,
+    /// The sanctions list used.
+    pub sanctions: SanctionsList,
+    /// §2 dataset-scale statistics.
+    pub dataset: DatasetStats,
+    /// Per-sweep composition transition flows (who moved, when).
+    pub transitions: TransitionFlows,
+    /// Measurement statistics: total DNS queries across all sweeps.
+    pub total_queries: u64,
+    /// Number of sweeps run.
+    pub sweeps_run: usize,
+}
+
+impl StudyResults {
+    /// The retained sweep at `date`, if any.
+    pub fn sweep_at(&self, date: Date) -> Option<&DailySweep> {
+        self.retained.get(&date)
+    }
+
+    /// The last retained sweep (study end).
+    pub fn final_sweep(&self) -> Option<&DailySweep> {
+        self.retained.values().next_back()
+    }
+}
+
+/// Run the full study.
+pub fn run_study(cfg: &StudyConfig) -> StudyResults {
+    let mut world = World::new(cfg.world.clone());
+    let sanctions = world.sanctions().clone();
+
+    let mut ns_composition = CompositionSeries::new(InfraKind::NameServers);
+    let mut hosting_composition = CompositionSeries::new(InfraKind::Hosting);
+    let mut sanctioned_ns =
+        CompositionSeries::sanctioned(InfraKind::NameServers, sanctions.clone());
+    let mut tld_dependency = TldDependencySeries::new();
+    let mut tld_usage = TldUsageSeries::new();
+    let mut asn_share = AsnShareSeries::new();
+    let mut dataset = DatasetStats::new();
+    let mut transitions = TransitionFlows::new(InfraKind::NameServers);
+    let mut retained: BTreeMap<Date, DailySweep> = BTreeMap::new();
+
+    let sweep_dates = cfg.sweep_dates();
+    let first = sweep_dates.first().copied();
+    let last = sweep_dates.last().copied();
+    let mut scanner = OpenIntelScanner::new(&world);
+    let ip_scanner = IpScanner::new(&world);
+    let mut ip_scans: Vec<IpScanSnapshot> = Vec::new();
+    let mut scans_pending = cfg.ip_scans.clone();
+    scans_pending.sort();
+
+    for (i, &date) in sweep_dates.iter().enumerate() {
+        world.advance_to(date);
+        // Run any IP scans scheduled on or before this sweep date.
+        while scans_pending.first().is_some_and(|d| *d <= date) {
+            scans_pending.remove(0);
+            ip_scans.push(ip_scanner.scan(&mut world));
+        }
+        let mut sweep = scanner.sweep(&mut world);
+        if cfg.outages.contains(&date) {
+            // Collector failure: most of the day's records are lost. The
+            // analyses still record the date — as the dip the paper shows.
+            let keep = sweep.domains.len() / 4;
+            sweep.domains.truncate(keep);
+        }
+        ns_composition.observe(&sweep);
+        hosting_composition.observe(&sweep);
+        sanctioned_ns.observe(&sweep);
+        tld_dependency.observe(&sweep);
+        tld_usage.observe(&sweep);
+        asn_share.observe(&sweep);
+        dataset.observe(&sweep);
+        transitions.observe(&sweep);
+        if cfg.retain.contains(&date) || first == Some(date) || last == Some(date) {
+            retained.insert(date, sweep);
+        }
+        if cfg.verbose && i % 25 == 0 {
+            eprintln!(
+                "[study] {date}  sweep {}/{}  queries so far: {}",
+                i + 1,
+                sweep_dates.len(),
+                scanner.queries_sent()
+            );
+        }
+    }
+
+    // Certificate analyses over the paper's window.
+    world.finalize_ocsp();
+    let cert_from = CERT_WINDOW_START.max(cfg.world.cert_start);
+    let cert_to = CERT_WINDOW_END.min(cfg.world.end);
+    let certs = CertDataset::from_logs(world.ct_logs(), cert_from, cert_to, MatchRule::CnOrSan);
+    let issuance = CaIssuanceAnalysis::new(&certs);
+    let revocation = RevocationAnalysis::new(&certs, world.ocsp(), &sanctions, cert_to);
+    let russian_ca = ip_scans
+        .last()
+        .map(|scan| RussianCaAnalysis::new(scan, &certs, &sanctions, cert_to));
+
+    StudyResults {
+        ns_composition,
+        hosting_composition,
+        sanctioned_ns,
+        tld_dependency,
+        tld_usage,
+        asn_share,
+        retained,
+        certs,
+        issuance,
+        revocation,
+        russian_ca,
+        ip_scans,
+        sanctions,
+        dataset,
+        transitions,
+        total_queries: scanner.queries_sent(),
+        sweeps_run: sweep_dates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_cadence() {
+        let mut world = WorldConfig::tiny();
+        world.start = Date::from_ymd(2021, 12, 1);
+        world.end = Date::from_ymd(2022, 1, 10);
+        let mut cfg = StudyConfig::paper_schedule(world);
+        cfg.daily_from = Date::from_ymd(2022, 1, 1);
+        let dates = cfg.sweep_dates();
+        // Weekly in December (12-01, 08, 15, 22, 29), daily in January.
+        assert_eq!(dates[0], Date::from_ymd(2021, 12, 1));
+        assert_eq!(dates[1], Date::from_ymd(2021, 12, 8));
+        assert!(dates.contains(&Date::from_ymd(2022, 1, 1)));
+        assert!(dates.contains(&Date::from_ymd(2022, 1, 2)));
+        assert_eq!(*dates.last().unwrap(), Date::from_ymd(2022, 1, 10));
+        // Strictly increasing.
+        assert!(dates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn schedule_daily_only_when_daily_from_is_start() {
+        let world = WorldConfig::tiny(); // starts 2022-01-01
+        let cfg = StudyConfig::paper_schedule(world.clone());
+        let dates = cfg.sweep_dates();
+        assert_eq!(dates.len(), world.days());
+    }
+}

@@ -1,0 +1,603 @@
+//! Per-figure / per-table renderers: map [`StudyResults`] to the exact
+//! artifacts the paper reports, with the paper's own numbers alongside for
+//! comparison (EXPERIMENTS.md is generated from these).
+
+use crate::ca_issuance::IssuanceTimeline;
+use crate::experiments::StudyResults;
+use crate::movement::MovementReport;
+use crate::report::{format_count, format_pct, Series, Table};
+use ruwhere_types::{Asn, Date, Period};
+
+/// §2 dataset statistics vs the paper.
+pub fn dataset_table(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "§2 dataset statistics (paper: 11.7M unique names; 13.3k hosting / 9.5k DNS ASNs — scale with 1:N)",
+        &["metric", "measured", "paper (1:1)"],
+    );
+    t.row([
+        "unique domain names".to_owned(),
+        r.dataset.unique_domains().to_string(),
+        "11.7M".into(),
+    ]);
+    t.row([
+        "hosting ASNs".to_owned(),
+        r.dataset.hosting_asns().to_string(),
+        "13.3k".into(),
+    ]);
+    t.row([
+        "authoritative-DNS ASNs".to_owned(),
+        r.dataset.dns_asns().to_string(),
+        "9.5k".into(),
+    ]);
+    t.row([
+        "sweeps / records".to_owned(),
+        format!("{} / {}", r.dataset.sweeps(), r.dataset.records()),
+        "1803 daily".into(),
+    ]);
+    t
+}
+
+/// Figure 1: country composition of DNS (NS) infrastructure over time.
+pub fn fig1_series(r: &StudyResults) -> Series {
+    let mut s = Series::new(
+        "Figure 1: NS country composition of .ru/.рф domains",
+        &["date", "full_pct", "partial_pct", "non_pct", "domains"],
+    );
+    for (date, c) in r.ns_composition.rows() {
+        s.push([
+            date.to_string(),
+            format!("{:.2}", c.pct_full()),
+            format!("{:.2}", c.pct_partial()),
+            format!("{:.2}", c.pct_non()),
+            c.total().to_string(),
+        ]);
+    }
+    s
+}
+
+/// Figure 1 headline numbers vs the paper.
+pub fn fig1_summary(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Figure 1 summary: NS composition (paper: full 67.0% → 73.9%)",
+        &["metric", "measured", "paper"],
+    );
+    if let Some(((d0, c0), (d1, c1))) = r.ns_composition.extrema() {
+        t.row([format!("full% at {d0}"), format!("{:.1}%", c0.pct_full()), "67.0%".into()]);
+        t.row([format!("full% at {d1}"), format!("{:.1}%", c1.pct_full()), "73.9%".into()]);
+        t.row([
+            "net change (pts)".into(),
+            format!("{:+.1}", c1.pct_full() - c0.pct_full()),
+            "+6.9".into(),
+        ]);
+    }
+    t
+}
+
+/// §3.1 text: hosting composition at study start.
+pub fn hosting_summary(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "§3.1 hosting composition (paper at 2017-06-18: 71.0% / 0.19% / 28.81%)",
+        &["date", "full", "partial", "non"],
+    );
+    if let Some(((d0, c0), (d1, c1))) = r.hosting_composition.extrema() {
+        for (d, c) in [(d0, c0), (d1, c1)] {
+            t.row([
+                d.to_string(),
+                format_pct(c.pct_full()),
+                format_pct(c.pct_partial()),
+                format_pct(c.pct_non()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 2: TLD-dependency composition series.
+pub fn fig2_series(r: &StudyResults) -> Series {
+    let mut s = Series::new(
+        "Figure 2: NS TLD-dependency composition",
+        &["date", "full_pct", "partial_pct", "non_pct"],
+    );
+    for (date, c) in r.tld_dependency.rows() {
+        s.push([
+            date.to_string(),
+            format!("{:.2}", c.pct_full()),
+            format!("{:.2}", c.pct_partial()),
+            format!("{:.2}", c.pct_non()),
+        ]);
+    }
+    s
+}
+
+/// Figure 2 net changes vs the paper.
+pub fn fig2_summary(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Figure 2 summary: TLD-dependency net change (paper: full −6.3 pts, partial +7.9 pts)",
+        &["metric", "measured", "paper"],
+    );
+    if let Some((df, dp, dn)) = r.tld_dependency.net_change() {
+        t.row(["full (pts)".to_owned(), format!("{df:+.1}"), "-6.3".into()]);
+        t.row(["partial (pts)".to_owned(), format!("{dp:+.1}"), "+7.9".into()]);
+        t.row(["non (pts)".to_owned(), format!("{dn:+.1}"), "≈-1.6".into()]);
+    }
+    t
+}
+
+/// Figure 3: top-5 NS TLD usage over time.
+pub fn fig3_series(r: &StudyResults) -> Series {
+    let tlds = r.tld_usage.top_tlds(5);
+    let mut cols: Vec<&str> = vec!["date"];
+    let tld_cols: Vec<String> = tlds.iter().map(|t| t.replace("xn--p1ai", "рф")).collect();
+    for t in &tld_cols {
+        cols.push(t);
+    }
+    let mut s = Series::new("Figure 3: top-5 NS TLD usage (% of domains)", &cols);
+    let dates: Vec<Date> = r.tld_usage.dates().collect();
+    for d in dates {
+        let mut row = vec![d.to_string()];
+        for t in &tlds {
+            row.push(format!("{:.2}", r.tld_usage.share(d, t).unwrap_or(0.0)));
+        }
+        s.push(row);
+    }
+    s
+}
+
+/// Figure 3 endpoint shares vs the paper.
+pub fn fig3_summary(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Figure 3 summary: NS TLD usage at study end",
+        &["tld", "measured", "paper"],
+    );
+    let last = r.tld_usage.dates().last();
+    let paper = [
+        ("ru", "78.3%"),
+        ("com", "24.7%"),
+        ("pro", "12.4%"),
+        ("org", "9.2%"),
+        ("net", "7.3%"),
+    ];
+    if let Some(d) = last {
+        for (tld, expected) in paper {
+            t.row([
+                format!(".{tld}"),
+                format_pct(r.tld_usage.share(d, tld).unwrap_or(0.0)),
+                expected.to_owned(),
+            ]);
+        }
+        t.row([
+            "distinct TLDs".to_owned(),
+            r.tld_usage.distinct_tlds().to_string(),
+            "270".into(),
+        ]);
+    }
+    t
+}
+
+/// The ASNs Figure 4 plots.
+pub fn fig4_asns() -> Vec<(Asn, &'static str)> {
+    vec![
+        (Asn::AMAZON, "Amazon (US)"),
+        (Asn::SEDO, "Sedo (DE)"),
+        (Asn::TIMEWEB, "Timeweb (RU)"),
+        (Asn::CLOUDFLARE, "Cloudflare (US)"),
+        (Asn::REG_RU, "REG.RU"),
+        (Asn::BEGET, "Beget (RU)"),
+        (Asn::SERVEREL, "Serverel (NL)"),
+        (Asn::RU_CENTER, "RU-CENTER"),
+    ]
+}
+
+/// Figure 4: hosting shares of the named networks (2022 window only, as in
+/// the paper).
+pub fn fig4_series(r: &StudyResults) -> Series {
+    let asns = fig4_asns();
+    let mut cols: Vec<&str> = vec!["date"];
+    for (_, label) in &asns {
+        cols.push(label);
+    }
+    let mut s = Series::new("Figure 4: hosting-network shares (%)", &cols);
+    let window_start = Date::from_ymd(2022, 2, 22);
+    for d in r.asn_share.dates().filter(|d| *d >= window_start) {
+        let mut row = vec![d.to_string()];
+        for (asn, _) in &asns {
+            row.push(format!("{:.2}", r.asn_share.share(d, *asn).unwrap_or(0.0)));
+        }
+        s.push(row);
+    }
+    s
+}
+
+/// Figure 5: sanctioned-domain NS composition series.
+pub fn fig5_series(r: &StudyResults) -> Series {
+    let mut s = Series::new(
+        "Figure 5: sanctioned domains' NS country composition",
+        &["date", "full_pct", "partial_pct", "non_pct", "domains"],
+    );
+    for (date, c) in r.sanctioned_ns.rows() {
+        if date < Date::from_ymd(2022, 2, 1) {
+            continue;
+        }
+        s.push([
+            date.to_string(),
+            format!("{:.2}", c.pct_full()),
+            format!("{:.2}", c.pct_partial()),
+            format!("{:.2}", c.pct_non()),
+            c.total().to_string(),
+        ]);
+    }
+    s
+}
+
+/// Figure 5 key dates vs the paper.
+pub fn fig5_summary(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Figure 5 summary (paper: 2022-02-24 → 34.0% partial, 5.2% non; 2022-03-04 → 93.8% full)",
+        &["date", "full", "partial", "non", "paper"],
+    );
+    for (date, expected) in [
+        (Date::from_ymd(2022, 2, 24), "34.0% partial / 5.2% non"),
+        (Date::from_ymd(2022, 3, 4), "93.8% full"),
+    ] {
+        if let Some(c) = r.sanctioned_ns.at(date) {
+            t.row([
+                date.to_string(),
+                format_pct(c.pct_full()),
+                format_pct(c.pct_partial()),
+                format_pct(c.pct_non()),
+                expected.to_owned(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Movement report (Figures 6/7 or §3.4 text) between two retained sweeps.
+pub fn movement_table(
+    r: &StudyResults,
+    asn: Asn,
+    label: &str,
+    date_a: Date,
+    date_b: Date,
+    paper: &str,
+) -> Option<(Table, MovementReport)> {
+    let a = r.sweep_at(date_a)?;
+    let b = r.sweep_at(date_b)?;
+    let report = MovementReport::analyze(a, b, asn);
+    let mut t = Table::new(
+        format!("{label}: movement in {asn} between {date_a} and {date_b} (paper: {paper})"),
+        &["metric", "count", "pct of original"],
+    );
+    let orig = report.original().max(1);
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / orig as f64);
+    t.row([
+        "in ASN at start".to_owned(),
+        report.original().to_string(),
+        "100.0%".into(),
+    ]);
+    t.row(["remained".to_owned(), report.remained().to_string(), pct(report.remained())]);
+    t.row(["relocated out".to_owned(), report.relocated().to_string(), pct(report.relocated())]);
+    t.row(["gone/unresolved".to_owned(), report.lost().to_string(), pct(report.lost())]);
+    t.row([
+        "relocated in".to_owned(),
+        report.relocated_in.len().to_string(),
+        String::new(),
+    ]);
+    t.row([
+        "newly registered in".to_owned(),
+        report.newly_registered.len().to_string(),
+        String::new(),
+    ]);
+    // Top destinations.
+    let mut dests: Vec<(Asn, usize)> = report.destinations().into_iter().collect();
+    dests.sort_by(|a, b| b.1.cmp(&a.1));
+    for (dest, n) in dests.into_iter().take(3) {
+        t.row([format!("→ {dest}"), n.to_string(), pct(n)]);
+    }
+    Some((t, report))
+}
+
+/// Figure 8: issuance timelines for the top-10 CAs, rendered as one row per
+/// CA with first/last issuance and a stop marker.
+pub fn fig8_table(r: &StudyResults) -> (Table, IssuanceTimeline) {
+    let timeline = r.issuance.timeline(10);
+    let horizon = ruwhere_types::CERT_WINDOW_END;
+    let mut t = Table::new(
+        "Figure 8: CA issuance timelines (paper: 6 of top 10 stop; LE/GlobalSign/Google continue)",
+        &["issuer", "first", "last", "issue-days", "stopped?"],
+    );
+    for org in r.issuance.top_orgs(10) {
+        let days = timeline.days.get(&org).cloned().unwrap_or_default();
+        let first = days.iter().next().map(|d| d.to_string()).unwrap_or_default();
+        let last = days.iter().next_back().map(|d| d.to_string()).unwrap_or_default();
+        let stopped = r.issuance.effectively_stopped(&org, horizon);
+        let _ = &horizon;
+        t.row([
+            org.clone(),
+            first,
+            last,
+            days.len().to_string(),
+            if stopped { "STOPPED".into() } else { "active".to_owned() },
+        ]);
+    }
+    (t, timeline)
+}
+
+/// Table 1: issuance per period.
+pub fn table1(r: &StudyResults) -> Table {
+    let pt = r.issuance.period_table(3);
+    let mut t = Table::new(
+        "Table 1: issuing activity per period (paper: LE 91.58% → 98.06% → 99.23%)",
+        &["period", "issuer", "# certs", "(%)"],
+    );
+    for period in Period::ALL {
+        if let Some((rows, other, other_pct, _total)) = pt.periods.get(&period) {
+            for row in rows {
+                t.row([
+                    period.to_string(),
+                    row.org.clone(),
+                    format_count(row.count),
+                    format_pct(row.pct),
+                ]);
+            }
+            t.row([
+                period.to_string(),
+                "Other CAs".to_owned(),
+                format_count(*other),
+                format_pct(*other_pct),
+            ]);
+        }
+    }
+    t
+}
+
+/// §4 text: certificates per day per period.
+pub fn cert_volume_table(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "§4: certificate volume per day (paper: 130k / 115k / 115k, scaled by the world's scale factor)",
+        &["period", "certs/day (measured)"],
+    );
+    let windows = [
+        (Period::PreConflict, ruwhere_types::CERT_WINDOW_START, Date::from_ymd(2022, 2, 23)),
+        (Period::PreSanctions, Date::from_ymd(2022, 2, 24), Date::from_ymd(2022, 3, 26)),
+        (Period::PostSanctions, Date::from_ymd(2022, 3, 27), ruwhere_types::CERT_WINDOW_END),
+    ];
+    for (p, from, to) in windows {
+        t.row([p.to_string(), format!("{:.0}", r.issuance.daily_volume(from, to))]);
+    }
+    t
+}
+
+/// Table 2: revocations by the top-5 CAs.
+pub fn table2(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Table 2: revocation activity (paper: DigiCert 308/308 and Sectigo 164/164 sanctioned revoked)",
+        &["issuer", "issued", "revoked", "rate", "sanc. issued", "sanc. revoked", "sanc. rate"],
+    );
+    for row in r.revocation.top_by_revocations(5) {
+        t.row([
+            row.org.clone(),
+            format_count(row.issued),
+            format_count(row.revoked),
+            format_pct(row.rate()),
+            row.sanctioned_issued.to_string(),
+            row.sanctioned_revoked.to_string(),
+            format_pct(row.sanctioned_rate()),
+        ]);
+    }
+    t
+}
+
+/// §4.3: the Russian Trusted Root CA.
+pub fn russian_ca_table(r: &StudyResults) -> Option<Table> {
+    let a = r.russian_ca.as_ref()?;
+    let mut t = Table::new(
+        "§4.3: Russian Trusted Root CA (paper: 170 certs; 130 .ru + 2 .рф; 36 sanctioned = 34%)",
+        &["metric", "measured", "paper"],
+    );
+    t.row([
+        "unique certs in scans".to_owned(),
+        a.unique_certs.to_string(),
+        "170".into(),
+    ]);
+    t.row([
+        ".ru domains".to_owned(),
+        a.domains_by_tld.get("ru").copied().unwrap_or(0).to_string(),
+        "130".into(),
+    ]);
+    t.row([
+        ".рф domains".to_owned(),
+        a.domains_by_tld.get("xn--p1ai").copied().unwrap_or(0).to_string(),
+        "2".into(),
+    ]);
+    t.row([
+        "sanctioned covered".to_owned(),
+        format!("{} ({:.0}%)", a.sanctioned_covered, 100.0 * a.sanctioned_coverage()),
+        "36 (34%)".into(),
+    ]);
+    t.row(["in CT logs".to_owned(), a.in_ct.to_string(), "0".into()]);
+    t.row([
+        "other-CA certs in scan".to_owned(),
+        a.other_ca_certs.to_string(),
+        ">800k issued".into(),
+    ]);
+    Some(t)
+}
+
+/// §3.4 one-line summaries for the four named providers.
+pub fn provider_actions_table(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "§3.4: provider actions (movement between announcement date and study end)",
+        &["provider", "original", "remained", "relocated", "in (reloc+new)", "paper"],
+    );
+    let end = r.retained.keys().next_back().copied();
+    let Some(end) = end else { return t };
+    let cases = [
+        (Asn::AMAZON, "Amazon", Date::from_ymd(2022, 3, 8), ">50% relocate; 43% remain; 574 new + 988 reloc in"),
+        (Asn::SEDO, "Sedo", Date::from_ymd(2022, 3, 8), "98% relocate; 2.7k remain; 311 in"),
+        (Asn::CLOUDFLARE, "Cloudflare", Date::from_ymd(2022, 3, 7), "94% remain; 34k in"),
+        (Asn::GOOGLE, "Google", Date::from_ymd(2022, 3, 10), "57.1% relocate (75.2% intra-Google)"),
+    ];
+    for (asn, name, start, paper) in cases {
+        let (Some(a), Some(b)) = (r.sweep_at(start), r.sweep_at(end)) else {
+            continue;
+        };
+        let report = MovementReport::analyze(a, b, asn);
+        let orig = report.original().max(1);
+        let mut relocated = format!(
+            "{} ({:.0}%)",
+            report.relocated(),
+            100.0 * report.relocated() as f64 / orig as f64
+        );
+        if asn == Asn::GOOGLE && report.relocated() > 0 {
+            // Footnote 11: most Google movers stayed inside Google.
+            relocated.push_str(&format!(
+                " [{:.0}% intra-Google]",
+                100.0 * report.relocated_share_to(Asn::GOOGLE_CLOUD)
+            ));
+        }
+        t.row([
+            name.to_owned(),
+            report.original().to_string(),
+            format!("{} ({:.0}%)", report.remained(), 100.0 * report.remained() as f64 / orig as f64),
+            relocated,
+            format!("{}+{}", report.relocated_in.len(), report.newly_registered.len()),
+            paper.to_owned(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_study, StudyConfig};
+
+    // One shared tiny study for all renderer tests (building it is the
+    // expensive part).
+    fn study() -> &'static StudyResults {
+        use std::sync::OnceLock;
+        static STUDY: OnceLock<StudyResults> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let mut cfg = StudyConfig::test_schedule();
+            cfg.daily_from = Date::from_ymd(2022, 2, 22);
+            run_study(&cfg)
+        })
+    }
+
+    #[test]
+    fn all_renderers_produce_output() {
+        let r = study();
+        assert!(!fig1_series(r).is_empty());
+        assert!(!fig1_summary(r).is_empty());
+        assert!(!hosting_summary(r).is_empty());
+        assert!(!fig2_series(r).is_empty());
+        assert!(!fig2_summary(r).is_empty());
+        assert!(!fig3_series(r).is_empty());
+        assert!(!fig3_summary(r).is_empty());
+        assert!(!fig4_series(r).is_empty());
+        assert!(!fig5_series(r).is_empty());
+        assert!(!fig5_summary(r).is_empty());
+        let (fig8, _) = fig8_table(r);
+        assert!(!fig8.is_empty());
+        assert!(!table1(r).is_empty());
+        assert!(!table2(r).is_empty());
+        assert!(!cert_volume_table(r).is_empty());
+        assert!(russian_ca_table(r).is_some());
+        assert!(!provider_actions_table(r).is_empty());
+        assert!(!dataset_table(r).is_empty());
+        assert!(discussion_table(r).len() >= 4);
+    }
+
+    #[test]
+    fn movement_table_needs_retained_sweeps() {
+        let r = study();
+        let end = *r.retained.keys().next_back().unwrap();
+        let got = movement_table(r, Asn::SEDO, "Figure 7", Date::from_ymd(2022, 3, 8), end, "98% relocate");
+        assert!(got.is_some());
+        let missing = movement_table(r, Asn::SEDO, "x", Date::from_ymd(2021, 1, 1), end, "");
+        assert!(missing.is_none());
+    }
+}
+
+/// §6 "Discussion": the paper's three headline findings, computed from the
+/// measurement data.
+pub fn discussion_table(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "§6 discussion digest",
+        &["finding", "measured", "paper's framing"],
+    );
+    // 1. High pre-existing domestic provisioning; changes are modest.
+    if let Some(((_, h0), _)) = r.hosting_composition.extrema() {
+        t.row([
+            "domestic hosting pre-conflict".to_owned(),
+            format_pct(h0.pct_full()),
+            "\"vast majority (≈70%) fully hosted in Russia\"".into(),
+        ]);
+    }
+    if let Some(((_, n0), (_, n1))) = r.ns_composition.extrema() {
+        t.row([
+            "NS composition net change".to_owned(),
+            format!("{:+.1} pts", n1.pct_full() - n0.pct_full()),
+            "\"changes in single digit percentages … modest effects\"".into(),
+        ]);
+    }
+    // 2. Impacted sites quickly found new providers: Sedo leavers that
+    //    still resolve at the end of the study.
+    if let (Some(a), Some(b)) = (
+        r.sweep_at(ruwhere_types::Date::from_ymd(2022, 3, 8)),
+        r.final_sweep(),
+    ) {
+        let sedo = MovementReport::analyze(a, b, Asn::SEDO);
+        let moved = sedo.relocated() + sedo.lost();
+        if moved > 0 {
+            let recovered = 100.0 * sedo.relocated() as f64 / moved as f64;
+            t.row([
+                "evicted Sedo customers re-provisioned".to_owned(),
+                format_pct(recovered),
+                "\"virtually all of the impacted sites quickly found new providers\"".into(),
+            ]);
+        }
+    }
+    // 3. Certificate issuance is the one area of significant exposure.
+    let totals = r.issuance.totals();
+    let le = totals.get("Let's Encrypt").copied().unwrap_or(0);
+    let total: u64 = totals.values().sum();
+    if total > 0 {
+        t.row([
+            "Let's Encrypt share of window issuance".to_owned(),
+            format_pct(100.0 * le as f64 / total as f64),
+            "\"near-complete control Let's Encrypt holds … is startling\"".into(),
+        ]);
+    }
+    if let Some(a) = &r.russian_ca {
+        t.row([
+            "domestic CA certificates actually served".to_owned(),
+            a.unique_certs.to_string(),
+            "\"yet to have a significant impact\" (170 certs)".into(),
+        ]);
+    }
+    t
+}
+
+/// §3.1/§3.2 narrative: the largest partial→full transition day — the
+/// Netnod attribution — plus the surrounding flow structure.
+pub fn transition_table(r: &StudyResults) -> Table {
+    use crate::composition::Composition as C;
+    let mut t = Table::new(
+        "Composition transition flows (paper: partial→full spike on 2022-03-03, Netnod)",
+        &["metric", "value"],
+    );
+    if let Some((date, n)) = r.transitions.peak(C::Partial, C::Full) {
+        t.row(["peak partial→full day".to_owned(), format!("{date} ({n} domains)")]);
+    }
+    for (from, to, label) in [
+        (C::Partial, C::Full, "total partial→full"),
+        (C::Non, C::Full, "total non→full"),
+        (C::Full, C::Partial, "total full→partial"),
+        (C::Full, C::Non, "total full→non"),
+    ] {
+        t.row([label.to_owned(), r.transitions.total(from, to).to_string()]);
+    }
+    t
+}

@@ -1,0 +1,195 @@
+//! Revocation analysis (Table 2).
+//!
+//! > "we tallied the revocations for certificates securing .ru and .рф
+//! > domains across all CAs whose validity ended after February 25, 2022
+//! > … all CAs have significantly higher revocation rates for sanctioned
+//! > domains than other .ru and .рф domains." — §4.2
+
+use ruwhere_ct::OcspResponder;
+use ruwhere_registry::SanctionsList;
+use ruwhere_scan::CertDataset;
+use ruwhere_types::Date;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Validity cutoff: certificates whose validity ended on or before this
+/// date are excluded (paper: February 25, 2022).
+pub const VALIDITY_CUTOFF: Date = Date::from_ymd(2022, 2, 25);
+
+/// One CA's row in the Table 2 layout.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RevocationRow {
+    /// Issuer organization.
+    pub org: String,
+    /// Certificates issued (validity ending after the cutoff).
+    pub issued: u64,
+    /// Of those, revoked.
+    pub revoked: u64,
+    /// Certificates covering sanctioned domains.
+    pub sanctioned_issued: u64,
+    /// Of those, revoked.
+    pub sanctioned_revoked: u64,
+}
+
+impl RevocationRow {
+    /// Overall revocation rate (%).
+    pub fn rate(&self) -> f64 {
+        100.0 * self.revoked as f64 / self.issued.max(1) as f64
+    }
+
+    /// Sanctioned revocation rate (%).
+    pub fn sanctioned_rate(&self) -> f64 {
+        100.0 * self.sanctioned_revoked as f64 / self.sanctioned_issued.max(1) as f64
+    }
+}
+
+/// The full revocation analysis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RevocationAnalysis {
+    rows: BTreeMap<String, RevocationRow>,
+}
+
+impl RevocationAnalysis {
+    /// Join the certificate dataset with CRL/OCSP state and the sanctions
+    /// list, as of `as_of`.
+    pub fn new(
+        ds: &CertDataset,
+        ocsp: &OcspResponder,
+        sanctions: &SanctionsList,
+        as_of: Date,
+    ) -> Self {
+        let mut rows: BTreeMap<String, RevocationRow> = BTreeMap::new();
+        for r in &ds.records {
+            if r.not_after <= VALIDITY_CUTOFF {
+                continue;
+            }
+            let row = rows.entry(r.issuer_org.clone()).or_insert_with(|| RevocationRow {
+                org: r.issuer_org.clone(),
+                ..RevocationRow::default()
+            });
+            let sanctioned = r
+                .domains
+                .iter()
+                .any(|d| sanctions.is_sanctioned(d, as_of));
+            let revoked = ocsp
+                .crl(&r.issuer_org)
+                .is_some_and(|crl| crl.is_revoked(r.serial, as_of));
+            row.issued += 1;
+            if revoked {
+                row.revoked += 1;
+            }
+            if sanctioned {
+                row.sanctioned_issued += 1;
+                if revoked {
+                    row.sanctioned_revoked += 1;
+                }
+            }
+        }
+        RevocationAnalysis { rows }
+    }
+
+    /// All rows, keyed by organization.
+    pub fn rows(&self) -> &BTreeMap<String, RevocationRow> {
+        &self.rows
+    }
+
+    /// The `n` CAs with the most revocations (Table 2's "top five CAs with
+    /// the most revocations").
+    pub fn top_by_revocations(&self, n: usize) -> Vec<&RevocationRow> {
+        let mut v: Vec<&RevocationRow> = self.rows.values().collect();
+        v.sort_by(|a, b| b.revoked.cmp(&a.revoked).then(a.org.cmp(&b.org)));
+        v.into_iter().take(n).collect()
+    }
+
+    /// CAs that revoked 100 % of their sanctioned-domain certificates
+    /// (DigiCert and Sectigo in the paper).
+    pub fn full_sanctioned_revokers(&self) -> Vec<&str> {
+        self.rows
+            .values()
+            .filter(|r| r.sanctioned_issued > 0 && r.sanctioned_issued == r.sanctioned_revoked)
+            .map(|r| r.org.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_ct::revocation::RevocationReason;
+    use ruwhere_registry::SanctionSource;
+    use ruwhere_scan::CertRecord;
+
+    fn record(org: &str, serial: u64, domain: &str, not_after: Date) -> CertRecord {
+        CertRecord {
+            date: Date::from_ymd(2022, 1, 10),
+            issuer_org: org.into(),
+            issuer_cn: format!("{org} CA"),
+            serial,
+            domains: vec![domain.parse().unwrap()],
+            not_after,
+        }
+    }
+
+    fn setup() -> (CertDataset, OcspResponder, SanctionsList) {
+        let ds = CertDataset {
+            records: vec![
+                record("DigiCert", 1, "bank.ru", Date::from_ymd(2022, 12, 1)),
+                record("DigiCert", 2, "shop.ru", Date::from_ymd(2022, 12, 1)),
+                record("DigiCert", 3, "old.ru", Date::from_ymd(2022, 2, 1)), // expired: excluded
+                record("Let's Encrypt", 1, "bank.ru", Date::from_ymd(2022, 4, 1)),
+                record("Let's Encrypt", 2, "blog.ru", Date::from_ymd(2022, 4, 1)),
+            ],
+        };
+        let mut ocsp = OcspResponder::new();
+        ocsp.register_issuer("DigiCert", 3);
+        ocsp.register_issuer("Let's Encrypt", 2);
+        ocsp.crl_mut("DigiCert").revoke(
+            1,
+            Date::from_ymd(2022, 3, 11),
+            RevocationReason::PrivilegeWithdrawn,
+        );
+        let mut sanctions = SanctionsList::new();
+        sanctions.add(
+            "bank.ru".parse().unwrap(),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 2, 25),
+        );
+        (ds, ocsp, sanctions)
+    }
+
+    #[test]
+    fn table2_joins() {
+        let (ds, ocsp, sanctions) = setup();
+        let a = RevocationAnalysis::new(&ds, &ocsp, &sanctions, Date::from_ymd(2022, 5, 15));
+        let dc = &a.rows()["DigiCert"];
+        assert_eq!(dc.issued, 2, "expired cert excluded");
+        assert_eq!(dc.revoked, 1);
+        assert_eq!(dc.sanctioned_issued, 1);
+        assert_eq!(dc.sanctioned_revoked, 1);
+        assert!((dc.rate() - 50.0).abs() < 1e-9);
+        assert!((dc.sanctioned_rate() - 100.0).abs() < 1e-9);
+
+        let le = &a.rows()["Let's Encrypt"];
+        assert_eq!(le.issued, 2);
+        assert_eq!(le.revoked, 0);
+        assert_eq!(le.sanctioned_issued, 1);
+        assert_eq!(le.sanctioned_revoked, 0);
+    }
+
+    #[test]
+    fn rankings_and_full_revokers() {
+        let (ds, ocsp, sanctions) = setup();
+        let a = RevocationAnalysis::new(&ds, &ocsp, &sanctions, Date::from_ymd(2022, 5, 15));
+        let top = a.top_by_revocations(1);
+        assert_eq!(top[0].org, "DigiCert");
+        assert_eq!(a.full_sanctioned_revokers(), vec!["DigiCert"]);
+    }
+
+    #[test]
+    fn as_of_respects_revocation_dates() {
+        let (ds, ocsp, sanctions) = setup();
+        // Before the revocation date nothing is revoked.
+        let a = RevocationAnalysis::new(&ds, &ocsp, &sanctions, Date::from_ymd(2022, 3, 1));
+        assert_eq!(a.rows()["DigiCert"].revoked, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Russian Trusted Root CA analysis (§4.3).
+//!
+//! The state CA does not log to CT and is not browser-trusted, so the only
+//! way to observe it is IP-wide scanning of *served* chains. This module
+//! joins an [`IpScanSnapshot`] with the CT view and the sanctions list to
+//! reproduce the §4.3 findings: few certificates in absolute terms, all
+//! securing Russian-related entities, about a third of the sanctions list
+//! covered.
+
+use ruwhere_registry::SanctionsList;
+use ruwhere_scan::{CertDataset, IpScanSnapshot};
+use ruwhere_types::{Date, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The organization string of the state CA.
+pub const RUSSIAN_CA_ORG: &str = "Russian Trusted Root CA";
+
+/// §4.3 summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RussianCaAnalysis {
+    /// Unique certificates (by issuer serial) seen in scans with the
+    /// Russian CA in their chain.
+    pub unique_certs: usize,
+    /// Distinct domains covered, by TLD.
+    pub domains_by_tld: BTreeMap<String, usize>,
+    /// Sanctioned domains among the covered set.
+    pub sanctioned_covered: usize,
+    /// Size of the sanctions list at analysis time.
+    pub sanctions_total: usize,
+    /// Certificates from the Russian CA present in the CT dataset (should
+    /// be zero — the CA does not log).
+    pub in_ct: usize,
+    /// Unique certificates from all *other* CAs seen in the same scan, for
+    /// the paper's "for context" comparison.
+    pub other_ca_certs: usize,
+}
+
+impl RussianCaAnalysis {
+    /// Run the analysis over one scan snapshot.
+    pub fn new(
+        scan: &IpScanSnapshot,
+        ct: &CertDataset,
+        sanctions: &SanctionsList,
+        as_of: Date,
+    ) -> Self {
+        let mut russian_serials: BTreeSet<u64> = BTreeSet::new();
+        let mut other_serials: BTreeSet<(String, u64)> = BTreeSet::new();
+        let mut covered: BTreeSet<DomainName> = BTreeSet::new();
+        for (_, chain) in &scan.endpoints {
+            if chain.chain_contains_org(RUSSIAN_CA_ORG) {
+                russian_serials.insert(chain.serial);
+                if let Ok(d) = DomainName::parse(&chain.subject_cn) {
+                    covered.insert(d);
+                }
+                for d in &chain.san {
+                    covered.insert(d.clone());
+                }
+            } else {
+                other_serials.insert((chain.issuer_org.clone(), chain.serial));
+            }
+        }
+
+        let mut domains_by_tld: BTreeMap<String, usize> = BTreeMap::new();
+        let mut sanctioned_covered = 0;
+        for d in &covered {
+            *domains_by_tld.entry(d.tld().to_owned()).or_default() += 1;
+            if sanctions.is_sanctioned(d, as_of) {
+                sanctioned_covered += 1;
+            }
+        }
+
+        let in_ct = ct
+            .records
+            .iter()
+            .filter(|r| r.issuer_org == RUSSIAN_CA_ORG)
+            .count();
+
+        RussianCaAnalysis {
+            unique_certs: russian_serials.len(),
+            domains_by_tld,
+            sanctioned_covered,
+            sanctions_total: sanctions.sanctioned_at(as_of).len(),
+            in_ct,
+            other_ca_certs: other_serials.len(),
+        }
+    }
+
+    /// Domains under the study ccTLDs.
+    pub fn russian_tld_domains(&self) -> usize {
+        self.domains_by_tld.get("ru").copied().unwrap_or(0)
+            + self.domains_by_tld.get("xn--p1ai").copied().unwrap_or(0)
+    }
+
+    /// Fraction of the sanctions list covered (paper: 34 %).
+    pub fn sanctioned_coverage(&self) -> f64 {
+        self.sanctioned_covered as f64 / self.sanctions_total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_registry::SanctionSource;
+    use ruwhere_world::ChainSummary;
+
+    fn chain(cn: &str, issuer: &str, chain_orgs: &[&str], serial: u64) -> ChainSummary {
+        ChainSummary {
+            subject_cn: cn.into(),
+            san: DomainName::parse(cn).ok().into_iter().collect(),
+            issuer_org: issuer.into(),
+            chain_orgs: chain_orgs.iter().map(|s| (*s).to_string()).collect(),
+            serial,
+            not_before: Date::from_ymd(2022, 3, 10),
+            not_after: Date::from_ymd(2023, 3, 10),
+        }
+    }
+
+    #[test]
+    fn analysis_counts() {
+        let snap = IpScanSnapshot {
+            date: Date::from_ymd(2022, 5, 15),
+            endpoints: vec![
+                ("10.0.0.1".parse().unwrap(), chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1)),
+                ("10.0.0.2".parse().unwrap(), chain("site.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 2)),
+                ("10.0.0.3".parse().unwrap(), chain("corp.com", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 3)),
+                ("10.0.0.4".parse().unwrap(), chain("пример.рф", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 4)),
+                ("10.0.0.5".parse().unwrap(), chain("ord.ru", "Let's Encrypt", &["ISRG"], 99)),
+                // Duplicate serial from a second endpoint: counted once.
+                ("10.0.0.6".parse().unwrap(), chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1)),
+            ],
+            silent: 0,
+        };
+        let mut sanctions = SanctionsList::new();
+        sanctions.add(
+            "bank.ru".parse().unwrap(),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 2, 25),
+        );
+        sanctions.add(
+            "unseen.ru".parse().unwrap(),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 2, 25),
+        );
+        let ct = CertDataset::default();
+        let a = RussianCaAnalysis::new(&snap, &ct, &sanctions, Date::from_ymd(2022, 5, 15));
+
+        assert_eq!(a.unique_certs, 4);
+        assert_eq!(a.other_ca_certs, 1);
+        assert_eq!(a.russian_tld_domains(), 3);
+        assert_eq!(a.domains_by_tld.get("com"), Some(&1));
+        assert_eq!(a.sanctioned_covered, 1);
+        assert_eq!(a.sanctions_total, 2);
+        assert!((a.sanctioned_coverage() - 0.5).abs() < 1e-9);
+        assert_eq!(a.in_ct, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Name-server TLD dependency (Figures 2 and 3).
+//!
+//! > "We extract the TLD of each name server to which .ru and .рф domain
+//! > names delegate authority. If all of a domain's name servers are
+//! > exclusively registered under the Russian Federation TLDs, we consider
+//! > the TLD dependency fully Russian. … if only a subset are Russian TLDs,
+//! > we consider it partial, otherwise we consider it non Russian." — §3.1
+
+use crate::composition::{Composition, CompositionCounts};
+use ruwhere_scan::DailySweep;
+use ruwhere_types::Date;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a TLD string is a Russian Federation TLD.
+fn tld_is_russian(tld: &str) -> bool {
+    tld == "ru" || tld == "xn--p1ai"
+}
+
+/// Longitudinal full/partial/non series over NS-name TLDs (Figure 2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TldDependencySeries {
+    days: BTreeMap<Date, CompositionCounts>,
+}
+
+impl TldDependencySeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one sweep.
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        let mut counts = CompositionCounts::default();
+        for rec in &sweep.domains {
+            let (mut ru, mut other) = (0usize, 0usize);
+            for ns in &rec.ns_names {
+                if tld_is_russian(ns.tld()) {
+                    ru += 1;
+                } else {
+                    other += 1;
+                }
+            }
+            let c = match (ru, other) {
+                (0, 0) => Composition::Unknown,
+                (_, 0) => Composition::Full,
+                (0, _) => Composition::Non,
+                _ => Composition::Partial,
+            };
+            match c {
+                Composition::Full => counts.full += 1,
+                Composition::Partial => counts.partial += 1,
+                Composition::Non => counts.non += 1,
+                Composition::Unknown => counts.unknown += 1,
+            }
+        }
+        self.days.insert(sweep.date, counts);
+    }
+
+    /// Per-date counts in date order.
+    pub fn rows(&self) -> impl Iterator<Item = (Date, &CompositionCounts)> {
+        self.days.iter().map(|(d, c)| (*d, c))
+    }
+
+    /// Counts on one date.
+    pub fn at(&self, date: Date) -> Option<&CompositionCounts> {
+        self.days.get(&date)
+    }
+
+    /// Net percentage-point change in the full/partial/non shares between
+    /// the first and last observation ("a net reduction of 6.3 %" — §3.1).
+    pub fn net_change(&self) -> Option<(f64, f64, f64)> {
+        let first = self.days.values().next()?;
+        let last = self.days.values().next_back()?;
+        Some((
+            last.pct_full() - first.pct_full(),
+            last.pct_partial() - first.pct_partial(),
+            last.pct_non() - first.pct_non(),
+        ))
+    }
+}
+
+/// Longitudinal per-TLD usage: for each date, how many domains delegate to
+/// at least one name server under each TLD (Figure 3 — shares can sum to
+/// more than 100 % because domains use multiple TLDs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TldUsageSeries {
+    days: BTreeMap<Date, BTreeMap<String, u64>>,
+    totals: BTreeMap<Date, u64>,
+}
+
+impl TldUsageSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one sweep.
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for rec in &sweep.domains {
+            if rec.ns_names.is_empty() {
+                continue;
+            }
+            total += 1;
+            let mut tlds: Vec<&str> = rec.ns_names.iter().map(|n| n.tld()).collect();
+            tlds.sort_unstable();
+            tlds.dedup();
+            for t in tlds {
+                *counts.entry(t.to_owned()).or_default() += 1;
+            }
+        }
+        self.days.insert(sweep.date, counts);
+        self.totals.insert(sweep.date, total);
+    }
+
+    /// Distinct TLDs ever observed (the paper counts 270).
+    pub fn distinct_tlds(&self) -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for m in self.days.values() {
+            set.extend(m.keys().cloned());
+        }
+        set.len()
+    }
+
+    /// The top `n` TLDs by usage on the final observed date.
+    pub fn top_tlds(&self, n: usize) -> Vec<String> {
+        let Some(last) = self.days.values().next_back() else {
+            return Vec::new();
+        };
+        let mut v: Vec<(&String, &u64)> = last.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        v.into_iter().take(n).map(|(t, _)| t.clone()).collect()
+    }
+
+    /// Usage share (%) of `tld` on `date`.
+    pub fn share(&self, date: Date, tld: &str) -> Option<f64> {
+        let counts = self.days.get(&date)?;
+        let total = *self.totals.get(&date)? as f64;
+        Some(100.0 * *counts.get(tld).unwrap_or(&0) as f64 / total.max(1.0))
+    }
+
+    /// All observed dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
+        self.days.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_scan::{DomainDay, SweepStats};
+
+    fn rec(domain: &str, ns: &[&str]) -> DomainDay {
+        DomainDay {
+            domain: domain.parse().unwrap(),
+            ns_names: ns.iter().map(|s| s.parse().unwrap()).collect(),
+            ns_addrs: vec![],
+            apex_addrs: vec![],
+        }
+    }
+
+    fn sweep(date: Date, domains: Vec<DomainDay>) -> DailySweep {
+        DailySweep {
+            date,
+            domains,
+            stats: SweepStats::default(),
+        }
+    }
+
+    #[test]
+    fn dependency_classification() {
+        let d = Date::from_ymd(2022, 1, 1);
+        let s = sweep(
+            d,
+            vec![
+                rec("a.ru", &["ns1.reg.ru", "ns2.reg.ru"]),
+                rec("b.ru", &["ns1.beget.ru", "ns2.beget.pro"]),
+                rec("c.ru", &["alla.ns.cloudflare.com"]),
+                rec("d.xn--p1ai", &["ns1.reg.ru"]),
+                rec("e.ru", &[]),
+            ],
+        );
+        let mut series = TldDependencySeries::new();
+        series.observe(&s);
+        let c = series.at(d).unwrap();
+        assert_eq!((c.full, c.partial, c.non, c.unknown), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn rf_tld_counts_as_russian() {
+        let d = Date::from_ymd(2022, 1, 1);
+        let s = sweep(d, vec![rec("a.ru", &["ns1.dns.xn--p1ai"])]);
+        let mut series = TldDependencySeries::new();
+        series.observe(&s);
+        assert_eq!(series.at(d).unwrap().full, 1);
+    }
+
+    #[test]
+    fn net_change() {
+        let mut series = TldDependencySeries::new();
+        series.observe(&sweep(
+            Date::from_ymd(2022, 1, 1),
+            vec![rec("a.ru", &["ns1.x.ru"]), rec("b.ru", &["ns1.y.com"])],
+        ));
+        series.observe(&sweep(
+            Date::from_ymd(2022, 2, 1),
+            vec![rec("a.ru", &["ns1.x.com"]), rec("b.ru", &["ns1.y.com"])],
+        ));
+        let (df, dp, dn) = series.net_change().unwrap();
+        assert!((df - -50.0).abs() < 1e-9);
+        assert!((dp - 0.0).abs() < 1e-9);
+        assert!((dn - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_counts_each_domain_once_per_tld() {
+        let d = Date::from_ymd(2022, 1, 1);
+        let s = sweep(
+            d,
+            vec![
+                // Two .ru NS: counts once for .ru.
+                rec("a.ru", &["ns1.reg.ru", "ns2.reg.ru"]),
+                rec("b.ru", &["ns1.beget.ru", "ns2.beget.pro"]),
+                rec("c.ru", &["x.cloudflare.com", "y.cloudflare.com"]),
+            ],
+        );
+        let mut usage = TldUsageSeries::new();
+        usage.observe(&s);
+        assert_eq!(usage.share(d, "ru"), Some(100.0 * 2.0 / 3.0));
+        assert_eq!(usage.share(d, "pro"), Some(100.0 / 3.0));
+        assert_eq!(usage.share(d, "com"), Some(100.0 / 3.0));
+        assert_eq!(usage.share(d, "net"), Some(0.0));
+        assert_eq!(usage.distinct_tlds(), 3);
+        assert_eq!(usage.top_tlds(2), vec!["ru".to_owned(), "com".to_owned()]);
+    }
+
+    #[test]
+    fn shares_can_exceed_100_in_total() {
+        let d = Date::from_ymd(2022, 1, 1);
+        let s = sweep(d, vec![rec("a.ru", &["ns1.x.ru", "ns2.x.com", "ns3.x.net"])]);
+        let mut usage = TldUsageSeries::new();
+        usage.observe(&s);
+        let sum = usage.share(d, "ru").unwrap()
+            + usage.share(d, "com").unwrap()
+            + usage.share(d, "net").unwrap();
+        assert!((sum - 300.0).abs() < 1e-9);
+    }
+}

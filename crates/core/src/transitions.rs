@@ -1,0 +1,233 @@
+//! Composition transition flows between consecutive sweeps.
+//!
+//! Figure 1's aggregate curves hide *which* domains moved. This module
+//! tracks per-domain composition across sweeps and counts transitions
+//! (full→partial, partial→full, …) per date — the evidence behind §3.1's
+//! "many domains with name servers partially outside Russia clearly
+//! transition towards fully Russian" and the Netnod attribution in §3.2.
+
+use crate::composition::{Composition, CompositionSeries, InfraKind};
+use ruwhere_scan::DailySweep;
+use ruwhere_types::{Date, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// A directed composition transition.
+pub type Transition = (Composition, Composition);
+
+/// Per-date transition counts plus appearance/disappearance tallies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransitionFlows {
+    kind_series: Option<InfraKind>,
+    previous: HashMap<DomainName, Composition>,
+    prev_date: Option<Date>,
+    /// date → (from, to) → count; only changed domains are recorded.
+    flows: BTreeMap<Date, BTreeMap<(u8, u8), u64>>,
+    appeared: BTreeMap<Date, u64>,
+    disappeared: BTreeMap<Date, u64>,
+}
+
+fn code(c: Composition) -> u8 {
+    match c {
+        Composition::Full => 0,
+        Composition::Partial => 1,
+        Composition::Non => 2,
+        Composition::Unknown => 3,
+    }
+}
+
+fn uncode(v: u8) -> Composition {
+    match v {
+        0 => Composition::Full,
+        1 => Composition::Partial,
+        2 => Composition::Non,
+        _ => Composition::Unknown,
+    }
+}
+
+impl TransitionFlows {
+    /// Track transitions of `kind`.
+    pub fn new(kind: InfraKind) -> Self {
+        TransitionFlows {
+            kind_series: Some(kind),
+            ..Self::default()
+        }
+    }
+
+    /// Consume one sweep (call in date order).
+    pub fn observe(&mut self, sweep: &DailySweep) {
+        let kind = self.kind_series.unwrap_or(InfraKind::NameServers);
+        let classifier = CompositionSeries::new(kind);
+        let mut current: HashMap<DomainName, Composition> =
+            HashMap::with_capacity(sweep.domains.len());
+        for rec in &sweep.domains {
+            current.insert(rec.domain.clone(), classifier.classify_record(rec));
+        }
+
+        if self.prev_date.is_some() {
+            let mut flows: BTreeMap<(u8, u8), u64> = BTreeMap::new();
+            let mut appeared = 0u64;
+            let mut disappeared = 0u64;
+            for (domain, &now) in &current {
+                match self.previous.get(domain) {
+                    Some(&before) if before != now => {
+                        *flows.entry((code(before), code(now))).or_default() += 1;
+                    }
+                    Some(_) => {}
+                    None => appeared += 1,
+                }
+            }
+            for domain in self.previous.keys() {
+                if !current.contains_key(domain) {
+                    disappeared += 1;
+                }
+            }
+            self.flows.insert(sweep.date, flows);
+            self.appeared.insert(sweep.date, appeared);
+            self.disappeared.insert(sweep.date, disappeared);
+        }
+        self.previous = current;
+        self.prev_date = Some(sweep.date);
+    }
+
+    /// Count of `from → to` transitions landing on `date`.
+    pub fn count(&self, date: Date, from: Composition, to: Composition) -> u64 {
+        self.flows
+            .get(&date)
+            .and_then(|m| m.get(&(code(from), code(to))))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All transitions on `date`, largest first.
+    pub fn on(&self, date: Date) -> Vec<(Transition, u64)> {
+        let Some(m) = self.flows.get(&date) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(Transition, u64)> = m
+            .iter()
+            .map(|(&(f, t), &n)| ((uncode(f), uncode(t)), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// The date with the most transitions of `from → to` — e.g. the Netnod
+    /// day for partial→full.
+    pub fn peak(&self, from: Composition, to: Composition) -> Option<(Date, u64)> {
+        self.flows
+            .iter()
+            .map(|(d, m)| (*d, m.get(&(code(from), code(to))).copied().unwrap_or(0)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .filter(|(_, n)| *n > 0)
+    }
+
+    /// Total transitions of `from → to` across all dates.
+    pub fn total(&self, from: Composition, to: Composition) -> u64 {
+        self.flows
+            .values()
+            .filter_map(|m| m.get(&(code(from), code(to))))
+            .sum()
+    }
+
+    /// New domains appearing on `date` (registrations since last sweep).
+    pub fn appeared(&self, date: Date) -> u64 {
+        self.appeared.get(&date).copied().unwrap_or(0)
+    }
+
+    /// Domains disappearing by `date` (lapsed since last sweep).
+    pub fn disappeared(&self, date: Date) -> u64 {
+        self.disappeared.get(&date).copied().unwrap_or(0)
+    }
+
+    /// Dates with transition data (all but the first sweep).
+    pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
+        self.flows.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_scan::{AddrInfo, DomainDay, SweepStats};
+    use ruwhere_types::Asn;
+
+    fn rec(domain: &str, countries: &[&str]) -> DomainDay {
+        DomainDay {
+            domain: domain.parse().unwrap(),
+            ns_names: vec![],
+            ns_addrs: countries
+                .iter()
+                .enumerate()
+                .map(|(i, cc)| AddrInfo {
+                    ip: format!("10.0.0.{}", i + 1).parse().unwrap(),
+                    country: Some(cc.parse().unwrap()),
+                    asn: Some(Asn(1)),
+                })
+                .collect(),
+            apex_addrs: vec![],
+        }
+    }
+
+    fn sweep(date: Date, domains: Vec<DomainDay>) -> DailySweep {
+        DailySweep {
+            date,
+            domains,
+            stats: SweepStats::default(),
+        }
+    }
+
+    #[test]
+    fn flows_track_changes_only() {
+        let mut flows = TransitionFlows::new(InfraKind::NameServers);
+        let d1 = Date::from_ymd(2022, 3, 2);
+        let d2 = Date::from_ymd(2022, 3, 3);
+        flows.observe(&sweep(
+            d1,
+            vec![
+                rec("a.ru", &["RU", "SE"]),
+                rec("b.ru", &["RU", "SE"]),
+                rec("c.ru", &["RU"]),
+                rec("d.ru", &["US"]),
+            ],
+        ));
+        // No transitions recorded for the first sweep.
+        assert_eq!(flows.dates().count(), 0);
+
+        flows.observe(&sweep(
+            d2,
+            vec![
+                rec("a.ru", &["RU", "RU"]), // partial → full
+                rec("b.ru", &["RU"]),       // partial → full
+                rec("c.ru", &["RU"]),       // unchanged
+                rec("e.ru", &["RU"]),       // appeared
+                                            // d.ru disappeared
+            ],
+        ));
+        assert_eq!(flows.count(d2, Composition::Partial, Composition::Full), 2);
+        assert_eq!(flows.count(d2, Composition::Full, Composition::Partial), 0);
+        assert_eq!(flows.appeared(d2), 1);
+        assert_eq!(flows.disappeared(d2), 1);
+        let on = flows.on(d2);
+        assert_eq!(on.len(), 1);
+        assert_eq!(on[0], ((Composition::Partial, Composition::Full), 2));
+    }
+
+    #[test]
+    fn peak_finds_the_event_day() {
+        let mut flows = TransitionFlows::new(InfraKind::NameServers);
+        let days = [
+            (Date::from_ymd(2022, 3, 1), vec![rec("a.ru", &["RU", "SE"]), rec("b.ru", &["RU", "SE"]), rec("c.ru", &["RU", "SE"])]),
+            (Date::from_ymd(2022, 3, 2), vec![rec("a.ru", &["RU", "SE"]), rec("b.ru", &["RU", "SE"]), rec("c.ru", &["RU"])]),
+            (Date::from_ymd(2022, 3, 3), vec![rec("a.ru", &["RU"]), rec("b.ru", &["RU"]), rec("c.ru", &["RU"])]),
+        ];
+        for (d, recs) in days {
+            flows.observe(&sweep(d, recs));
+        }
+        let (peak_date, n) = flows.peak(Composition::Partial, Composition::Full).unwrap();
+        assert_eq!(peak_date, Date::from_ymd(2022, 3, 3));
+        assert_eq!(n, 2);
+        assert_eq!(flows.total(Composition::Partial, Composition::Full), 3);
+        assert!(flows.peak(Composition::Non, Composition::Partial).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests on analysis invariants: whatever the measurement data
+//! looks like, the classifications must partition, percentages must add
+//! up, and movement accounting must conserve domains.
+
+use proptest::prelude::*;
+use ruwhere_core::composition::{Composition, CompositionSeries, InfraKind};
+use ruwhere_core::movement::{Movement, MovementReport};
+use ruwhere_core::AsnShareSeries;
+use ruwhere_scan::{AddrInfo, DailySweep, DomainDay, SweepStats};
+use ruwhere_types::{Asn, Country, Date};
+
+const COUNTRIES: [Option<&str>; 5] = [Some("RU"), Some("US"), Some("DE"), Some("SE"), None];
+
+fn addr(i: usize, cc_idx: usize, asn: u32) -> AddrInfo {
+    AddrInfo {
+        ip: format!("10.{}.{}.{}", asn % 256, i, 1).parse().unwrap(),
+        country: COUNTRIES[cc_idx % COUNTRIES.len()].map(|c| c.parse::<Country>().unwrap()),
+        asn: if asn == 0 { None } else { Some(Asn(asn)) },
+    }
+}
+
+prop_compose! {
+    fn arb_record(idx: usize)(
+        n_ns in 0usize..4,
+        n_apex in 0usize..3,
+        cc_seed in any::<usize>(),
+        asn_seed in 0u32..6,
+    ) -> DomainDay {
+        DomainDay {
+            domain: format!("prop-{idx}.ru").parse().unwrap(),
+            ns_names: (0..n_ns).map(|i| format!("ns{i}.prop-{idx}.ru").parse().unwrap()).collect(),
+            ns_addrs: (0..n_ns).map(|i| addr(i, cc_seed.wrapping_add(i), asn_seed + i as u32)).collect(),
+            apex_addrs: (0..n_apex).map(|i| addr(i + 8, cc_seed.wrapping_mul(3).wrapping_add(i), asn_seed * 2 + i as u32)).collect(),
+        }
+    }
+}
+
+fn arb_sweep(date: Date) -> impl Strategy<Value = DailySweep> {
+    proptest::collection::vec(any::<u8>(), 1..40).prop_flat_map(move |seeds| {
+        let strategies: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_record(i))
+            .collect();
+        strategies.prop_map(move |domains| DailySweep {
+            date,
+            domains,
+            stats: SweepStats::default(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn composition_partitions_every_domain(sweep in arb_sweep(Date::from_ymd(2022, 3, 1))) {
+        for kind in [InfraKind::NameServers, InfraKind::Hosting] {
+            let mut series = CompositionSeries::new(kind);
+            series.observe(&sweep);
+            let c = series.at(sweep.date).unwrap();
+            // Partition: every domain lands in exactly one bucket.
+            prop_assert_eq!(c.total() as usize, sweep.domains.len());
+            prop_assert_eq!(c.known() + c.unknown, c.total());
+            // Percentages over the known set sum to 100 (when any known).
+            if c.known() > 0 {
+                let sum = c.pct_full() + c.pct_partial() + c.pct_non();
+                prop_assert!((sum - 100.0).abs() < 1e-9, "pct sum {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_manual_rule(sweep in arb_sweep(Date::from_ymd(2022, 3, 1))) {
+        let series = CompositionSeries::new(InfraKind::NameServers);
+        for rec in &sweep.domains {
+            let ru = rec.ns_addrs.iter().filter(|a| a.country.map(|c| c.is_russia()).unwrap_or(false)).count();
+            let known = rec.ns_addrs.iter().filter(|a| a.country.is_some()).count();
+            let expected = match (ru, known) {
+                (_, 0) => Composition::Unknown,
+                (r, k) if r == k => Composition::Full,
+                (0, _) => Composition::Non,
+                _ => Composition::Partial,
+            };
+            prop_assert_eq!(series.classify_record(rec), expected);
+        }
+    }
+
+    #[test]
+    fn movement_conserves_domains(
+        a in arb_sweep(Date::from_ymd(2022, 3, 8)),
+        b in arb_sweep(Date::from_ymd(2022, 5, 25)),
+        asn in 1u32..8,
+    ) {
+        let report = MovementReport::analyze(&a, &b, Asn(asn));
+        // Conservation: every original domain has exactly one outcome.
+        prop_assert_eq!(
+            report.original(),
+            report.remained() + report.relocated() + report.lost()
+        );
+        // Arrivals are disjoint from the original set.
+        for d in report.relocated_in.iter().chain(&report.newly_registered) {
+            prop_assert!(!report.outcomes.contains_key(d));
+        }
+        // Destination histogram covers only relocated domains.
+        let dest_total: usize = report.destinations().values().sum();
+        prop_assert!(dest_total >= report.relocated());
+        // Share-to is a fraction.
+        let share = report.relocated_share_to(Asn(99));
+        prop_assert!((0.0..=1.0).contains(&share));
+    }
+
+    #[test]
+    fn movement_outcomes_are_consistent_with_sweeps(
+        a in arb_sweep(Date::from_ymd(2022, 3, 8)),
+        b in arb_sweep(Date::from_ymd(2022, 5, 25)),
+    ) {
+        let asn = Asn(2);
+        let report = MovementReport::analyze(&a, &b, asn);
+        for (domain, outcome) in &report.outcomes {
+            let in_b = b.domains.iter().find(|r| &r.domain == domain);
+            match outcome {
+                Movement::Gone => prop_assert!(in_b.is_none()),
+                Movement::Remained => {
+                    prop_assert!(in_b.unwrap().apex_addrs.iter().any(|x| x.asn == Some(asn)));
+                }
+                Movement::RelocatedTo(dests) => {
+                    prop_assert!(!dests.contains(&asn));
+                    prop_assert!(!dests.is_empty());
+                }
+                Movement::Unresolved => {
+                    prop_assert!(in_b.unwrap().apex_addrs.iter().all(|x| x.asn.is_none())
+                        || in_b.unwrap().apex_addrs.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asn_share_totals_are_bounded(sweep in arb_sweep(Date::from_ymd(2022, 3, 1))) {
+        let mut s = AsnShareSeries::new();
+        s.observe(&sweep);
+        let date = sweep.date;
+        let total = s.total(date).unwrap();
+        // The denominator counts only resolving domains.
+        let resolving = sweep.domains.iter().filter(|d| !d.apex_addrs.is_empty()).count() as u64;
+        prop_assert_eq!(total, resolving);
+        // Each individual ASN count is ≤ total; shares are percentages.
+        for asn in 0..8u32 {
+            prop_assert!(s.count(date, Asn(asn)) <= total);
+            let share = s.share(date, Asn(asn)).unwrap();
+            prop_assert!((0.0..=100.0).contains(&share));
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! An RFC 6962 / RFC 9162 Certificate Transparency log.
+//!
+//! Append-only Merkle tree over certificate entries, with Merkle tree heads,
+//! inclusion proofs, and consistency proofs (generation *and* verification).
+//! The Censys-style indexer in `ruwhere-scan` reads entries out of logs; a
+//! monitor can verify that the log operator never rewrote history.
+
+use crate::cert::Certificate;
+use crate::hash::{sha256, Digest, Sha256};
+use ruwhere_types::Date;
+use serde::{Deserialize, Serialize};
+
+/// One appended entry: the certificate and its log timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtEntry {
+    /// The logged certificate.
+    pub cert: Certificate,
+    /// Submission date.
+    pub timestamp: Date,
+}
+
+/// A Merkle tree head: size + root hash (+ a stand-in signature).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedTreeHead {
+    /// Number of leaves.
+    pub tree_size: u64,
+    /// Merkle root (RFC 6962 MTH).
+    pub root: Digest,
+    /// Stand-in signature binding size and root to the log identity.
+    pub signature: Digest,
+}
+
+/// Audit path proving a leaf is in a tree of a given size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// The leaf's index.
+    pub leaf_index: u64,
+    /// Tree size the proof is against.
+    pub tree_size: u64,
+    /// Sibling hashes from leaf to root.
+    pub audit_path: Vec<Digest>,
+}
+
+/// Proof that the tree of size `new_size` is an append-only extension of
+/// the tree of size `old_size`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// Earlier tree size.
+    pub old_size: u64,
+    /// Later tree size.
+    pub new_size: u64,
+    /// Proof nodes.
+    pub path: Vec<Digest>,
+}
+
+fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// The log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CtLog {
+    name: String,
+    entries: Vec<CtEntry>,
+    leaves: Vec<Digest>,
+}
+
+impl CtLog {
+    /// New empty log.
+    pub fn new(name: &str) -> Self {
+        CtLog {
+            name: name.to_owned(),
+            entries: Vec::new(),
+            leaves: Vec::new(),
+        }
+    }
+
+    /// Log operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a certificate; returns its leaf index.
+    pub fn append(&mut self, cert: Certificate, timestamp: Date) -> u64 {
+        let fp = cert.fingerprint();
+        let mut leaf_data = Vec::with_capacity(40);
+        leaf_data.extend_from_slice(&fp);
+        leaf_data.extend_from_slice(&timestamp.days_since_epoch().to_be_bytes());
+        self.leaves.push(leaf_hash(&leaf_data));
+        self.entries.push(CtEntry { cert, timestamp });
+        self.leaves.len() as u64
+    }
+
+    /// Current number of entries.
+    pub fn size(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// All entries (index order == append order).
+    pub fn entries(&self) -> &[CtEntry] {
+        &self.entries
+    }
+
+    /// Entries whose timestamp is within `[from, to]`.
+    pub fn entries_between(&self, from: Date, to: Date) -> impl Iterator<Item = &CtEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.timestamp >= from && e.timestamp <= to)
+    }
+
+    fn mth(&self, lo: usize, hi: usize) -> Digest {
+        debug_assert!(lo <= hi);
+        match hi - lo {
+            0 => sha256(b""), // MTH of the empty tree
+            1 => self.leaves[lo],
+            n => {
+                let k = largest_power_of_two_below(n as u64) as usize;
+                node_hash(&self.mth(lo, lo + k), &self.mth(lo + k, hi))
+            }
+        }
+    }
+
+    /// Merkle root over the first `size` leaves.
+    pub fn root_at(&self, size: u64) -> Option<Digest> {
+        (size <= self.size()).then(|| self.mth(0, size as usize))
+    }
+
+    /// Current signed tree head.
+    pub fn sth(&self) -> SignedTreeHead {
+        self.sth_at(self.size()).expect("current size is valid")
+    }
+
+    /// Signed tree head for a historical size.
+    pub fn sth_at(&self, size: u64) -> Option<SignedTreeHead> {
+        let root = self.root_at(size)?;
+        let mut sig_input = Vec::new();
+        sig_input.extend_from_slice(self.name.as_bytes());
+        sig_input.extend_from_slice(&size.to_be_bytes());
+        sig_input.extend_from_slice(&root);
+        Some(SignedTreeHead {
+            tree_size: size,
+            root,
+            signature: sha256(&sig_input),
+        })
+    }
+
+    /// The leaf hash at `index`.
+    pub fn leaf_at(&self, index: u64) -> Option<Digest> {
+        self.leaves.get(index as usize).copied()
+    }
+
+    /// RFC 6962 §2.1.1 audit path for `leaf_index` in the tree of
+    /// `tree_size` leaves.
+    pub fn inclusion_proof(&self, leaf_index: u64, tree_size: u64) -> Option<InclusionProof> {
+        if leaf_index >= tree_size || tree_size > self.size() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.audit_path(leaf_index as usize, 0, tree_size as usize, &mut path);
+        Some(InclusionProof {
+            leaf_index,
+            tree_size,
+            audit_path: path,
+        })
+    }
+
+    fn audit_path(&self, m: usize, lo: usize, hi: usize, out: &mut Vec<Digest>) {
+        let n = hi - lo;
+        if n <= 1 {
+            return;
+        }
+        let k = largest_power_of_two_below(n as u64) as usize;
+        if m < k {
+            self.audit_path(m, lo, lo + k, out);
+            out.push(self.mth(lo + k, hi));
+        } else {
+            self.audit_path(m - k, lo + k, hi, out);
+            out.push(self.mth(lo, lo + k));
+        }
+    }
+
+    /// RFC 6962 §2.1.2 consistency proof between two historical sizes.
+    pub fn consistency_proof(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof> {
+        if old_size == 0 || old_size > new_size || new_size > self.size() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.subproof(old_size as usize, 0, new_size as usize, true, &mut path);
+        Some(ConsistencyProof {
+            old_size,
+            new_size,
+            path,
+        })
+    }
+
+    fn subproof(&self, m: usize, lo: usize, hi: usize, complete: bool, out: &mut Vec<Digest>) {
+        let n = hi - lo;
+        if m == n {
+            if !complete {
+                out.push(self.mth(lo, hi));
+            }
+            return;
+        }
+        let k = largest_power_of_two_below(n as u64) as usize;
+        if m <= k {
+            self.subproof(m, lo, lo + k, complete, out);
+            out.push(self.mth(lo + k, hi));
+        } else {
+            self.subproof(m - k, lo + k, hi, false, out);
+            out.push(self.mth(lo, lo + k));
+        }
+    }
+}
+
+/// Largest power of two strictly less than `n` (n ≥ 2).
+fn largest_power_of_two_below(n: u64) -> u64 {
+    debug_assert!(n >= 2);
+    let p = n.next_power_of_two();
+    if p == n {
+        n / 2
+    } else {
+        p / 2
+    }
+}
+
+/// Verify an inclusion proof against a root (RFC 9162 §2.1.3.2).
+pub fn verify_inclusion(leaf: &Digest, proof: &InclusionProof, root: &Digest) -> bool {
+    if proof.leaf_index >= proof.tree_size {
+        return false;
+    }
+    let mut fnode = proof.leaf_index;
+    let mut snode = proof.tree_size - 1;
+    let mut r = *leaf;
+    for c in &proof.audit_path {
+        if snode == 0 {
+            return false;
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            r = node_hash(c, &r);
+            if fnode & 1 == 0 {
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            r = node_hash(&r, c);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    snode == 0 && r == *root
+}
+
+/// Verify a consistency proof between two roots (RFC 9162 §2.1.4.2).
+pub fn verify_consistency(
+    old_root: &Digest,
+    new_root: &Digest,
+    proof: &ConsistencyProof,
+) -> bool {
+    let (m, n) = (proof.old_size, proof.new_size);
+    if m == 0 || m > n {
+        return false;
+    }
+    if m == n {
+        return proof.path.is_empty() && old_root == new_root;
+    }
+    let mut path = proof.path.iter();
+    // If old_size is a power of two, the old root itself is the implicit
+    // first element.
+    let first = if m.is_power_of_two() {
+        *old_root
+    } else {
+        match path.next() {
+            Some(d) => *d,
+            None => return false,
+        }
+    };
+    let mut fnode = m - 1;
+    let mut snode = n - 1;
+    while fnode & 1 == 1 {
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    let mut fr = first;
+    let mut sr = first;
+    for c in path {
+        if snode == 0 {
+            return false;
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            fr = node_hash(c, &fr);
+            sr = node_hash(c, &sr);
+            if fnode & 1 == 0 {
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            sr = node_hash(&sr, c);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    snode == 0 && fr == *old_root && sr == *new_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::DistinguishedName;
+    use ruwhere_types::Country;
+
+    fn cert(i: u64) -> Certificate {
+        Certificate {
+            serial: i,
+            issuer: DistinguishedName {
+                organization: "Let's Encrypt".into(),
+                common_name: "R3".into(),
+                country: Country::US,
+            },
+            subject_cn: format!("site{i}.ru"),
+            san: vec![],
+            not_before: Date::from_ymd(2022, 1, 1),
+            not_after: Date::from_ymd(2022, 4, 1),
+            chain_orgs: vec![],
+            ct_logged: true,
+        }
+    }
+
+    fn log_of(n: u64) -> CtLog {
+        let mut log = CtLog::new("test-log");
+        for i in 0..n {
+            log.append(cert(i), Date::from_ymd(2022, 1, 1).add_days(i as i32 % 90));
+        }
+        log
+    }
+
+    #[test]
+    fn empty_tree_root_is_hash_of_empty() {
+        let log = CtLog::new("t");
+        assert_eq!(log.root_at(0).unwrap(), sha256(b""));
+        assert_eq!(log.size(), 0);
+    }
+
+    #[test]
+    fn appends_change_root_deterministically() {
+        let a = log_of(5);
+        let b = log_of(5);
+        assert_eq!(a.sth().root, b.sth().root);
+        assert_ne!(log_of(5).sth().root, log_of(6).sth().root);
+        // Historical roots are stable as the tree grows.
+        let big = log_of(10);
+        assert_eq!(big.root_at(5).unwrap(), a.sth().root);
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_exhaustively() {
+        // Every leaf in every tree size up to 40: the full proof matrix.
+        let log = log_of(40);
+        for size in 1..=40u64 {
+            let root = log.root_at(size).unwrap();
+            for idx in 0..size {
+                let proof = log.inclusion_proof(idx, size).unwrap();
+                let leaf = log.leaf_at(idx).unwrap();
+                assert!(
+                    verify_inclusion(&leaf, &proof, &root),
+                    "inclusion failed idx={idx} size={size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_wrong_leaf_and_root() {
+        let log = log_of(16);
+        let root = log.root_at(16).unwrap();
+        let proof = log.inclusion_proof(3, 16).unwrap();
+        let wrong_leaf = log.leaf_at(4).unwrap();
+        assert!(!verify_inclusion(&wrong_leaf, &proof, &root));
+        let right_leaf = log.leaf_at(3).unwrap();
+        let wrong_root = log.root_at(15).unwrap();
+        assert!(!verify_inclusion(&right_leaf, &proof, &wrong_root));
+        // Tampered path.
+        let mut tampered = proof.clone();
+        tampered.audit_path[0][0] ^= 1;
+        assert!(!verify_inclusion(&right_leaf, &tampered, &root));
+    }
+
+    #[test]
+    fn consistency_proofs_verify_exhaustively() {
+        let log = log_of(33);
+        for old in 1..=33u64 {
+            for new in old..=33u64 {
+                let proof = log.consistency_proof(old, new).unwrap();
+                let old_root = log.root_at(old).unwrap();
+                let new_root = log.root_at(new).unwrap();
+                assert!(
+                    verify_consistency(&old_root, &new_root, &proof),
+                    "consistency failed old={old} new={new}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_detects_rewritten_history() {
+        // Two logs that diverge at entry 5.
+        let honest = log_of(20);
+        let mut forked = log_of(5);
+        for i in 100..115u64 {
+            forked.append(cert(i), Date::from_ymd(2022, 2, 1));
+        }
+        let proof = forked.consistency_proof(5, 20).unwrap();
+        let old_root = honest.root_at(5).unwrap(); // same first 5 entries
+        let new_root_forked = forked.root_at(20).unwrap();
+        // Fork is internally consistent...
+        assert!(verify_consistency(&old_root, &new_root_forked, &proof));
+        // ...but its head does not match the honest log's head.
+        assert_ne!(new_root_forked, honest.root_at(20).unwrap());
+
+        // A proof from the honest log cannot link the forked old root.
+        let mut bad_old = old_root;
+        bad_old[0] ^= 0xFF;
+        let honest_proof = honest.consistency_proof(5, 20).unwrap();
+        assert!(!verify_consistency(
+            &bad_old,
+            &honest.root_at(20).unwrap(),
+            &honest_proof
+        ));
+    }
+
+    #[test]
+    fn proof_edge_cases() {
+        let log = log_of(8);
+        // Out-of-range requests.
+        assert!(log.inclusion_proof(8, 8).is_none());
+        assert!(log.inclusion_proof(0, 9).is_none());
+        assert!(log.consistency_proof(0, 5).is_none());
+        assert!(log.consistency_proof(6, 5).is_none());
+        assert!(log.consistency_proof(1, 9).is_none());
+        // m == n: empty proof, trivially valid.
+        let proof = log.consistency_proof(8, 8).unwrap();
+        assert!(proof.path.is_empty());
+        let root = log.root_at(8).unwrap();
+        assert!(verify_consistency(&root, &root, &proof));
+        // Single-leaf tree: inclusion proof is empty.
+        let proof = log.inclusion_proof(0, 1).unwrap();
+        assert!(proof.audit_path.is_empty());
+        assert!(verify_inclusion(&log.leaf_at(0).unwrap(), &proof, &log.root_at(1).unwrap()));
+    }
+
+    #[test]
+    fn entries_between() {
+        let log = log_of(10);
+        let n = log
+            .entries_between(Date::from_ymd(2022, 1, 3), Date::from_ymd(2022, 1, 5))
+            .count();
+        assert_eq!(n, 3);
+        assert_eq!(log.entries().len(), 10);
+    }
+
+    #[test]
+    fn sth_signature_binds_identity() {
+        let a = log_of(5).sth();
+        let mut other = CtLog::new("other-log");
+        for i in 0..5 {
+            other.append(cert(i), Date::from_ymd(2022, 1, 1).add_days(i as i32));
+        }
+        let b = other.sth();
+        assert_eq!(a.root, b.root, "same contents, same root");
+        assert_ne!(a.signature, b.signature, "different log identity");
+    }
+
+    #[test]
+    fn power_of_two_helper() {
+        assert_eq!(largest_power_of_two_below(2), 1);
+        assert_eq!(largest_power_of_two_below(3), 2);
+        assert_eq!(largest_power_of_two_below(4), 2);
+        assert_eq!(largest_power_of_two_below(5), 4);
+        assert_eq!(largest_power_of_two_below(8), 4);
+        assert_eq!(largest_power_of_two_below(9), 8);
+    }
+}

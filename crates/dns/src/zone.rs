@@ -1,0 +1,662 @@
+//! In-memory zones and a master-file-style textual format.
+//!
+//! The registry simulator publishes one [`Zone`] snapshot per day per TLD;
+//! authoritative servers answer from zones; the OpenINTEL-style scanner
+//! seeds its daily sweep from the zone's delegation list — exactly the
+//! data flow of the paper's measurement infrastructure.
+
+use crate::name::Name;
+use crate::rdata::{RData, RType, Record, SoaData};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of a zone lookup, before message assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Records answering the question directly (owner and type match).
+    Answer(Vec<Record>),
+    /// The name is an alias; contains the CNAME record. The caller decides
+    /// whether to chase it.
+    Cname(Record),
+    /// The question falls below a zone cut: referral with the cut's NS
+    /// records and any in-zone glue.
+    Delegation {
+        /// NS records at the zone cut.
+        ns: Vec<Record>,
+        /// A/AAAA glue for in-bailiwick name servers.
+        glue: Vec<Record>,
+    },
+    /// The owner exists but has no records of the queried type.
+    NoData,
+    /// The owner does not exist in this zone.
+    NxDomain,
+    /// The question is not within this zone's authority at all.
+    OutOfZone,
+}
+
+/// An authoritative zone: an origin, a SOA, and records indexed by owner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    origin: Name,
+    soa: SoaData,
+    soa_ttl: u32,
+    /// Owner → records at that owner. BTreeMap keeps snapshots canonical so
+    /// that serialized zones are diffable and runs are reproducible.
+    records: BTreeMap<Name, Vec<Record>>,
+}
+
+/// Error from parsing the textual zone format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for ZoneParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ZoneParseError {}
+
+impl Zone {
+    /// Create an empty zone.
+    pub fn new(origin: Name, soa: SoaData, soa_ttl: u32) -> Self {
+        Zone {
+            origin,
+            soa,
+            soa_ttl,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin (apex name).
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// The SOA data.
+    pub fn soa(&self) -> &SoaData {
+        &self.soa
+    }
+
+    /// The SOA as a full record at the apex.
+    pub fn soa_record(&self) -> Record {
+        Record::new(self.origin.clone(), self.soa_ttl, RData::Soa(self.soa.clone()))
+    }
+
+    /// Mutable access to the serial, bumped by the registry on each snapshot.
+    pub fn set_serial(&mut self, serial: u32) {
+        self.soa.serial = serial;
+    }
+
+    /// Add a record. Returns `false` (and does not add) if the owner is
+    /// outside the zone.
+    pub fn add(&mut self, record: Record) -> bool {
+        if !record.name.is_subdomain_of(&self.origin) {
+            return false;
+        }
+        self.records.entry(record.name.clone()).or_default().push(record);
+        true
+    }
+
+    /// Remove all records at `owner` (of `rtype`, or all types when `None`).
+    /// Returns how many records were removed.
+    pub fn remove(&mut self, owner: &Name, rtype: Option<RType>) -> usize {
+        match self.records.get_mut(owner) {
+            None => 0,
+            Some(v) => {
+                let before = v.len();
+                match rtype {
+                    None => v.clear(),
+                    Some(t) => v.retain(|r| r.data.rtype() != t),
+                }
+                let removed = before - v.len();
+                if v.is_empty() {
+                    self.records.remove(owner);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Total number of records (excluding the SOA).
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Iterate all records in canonical owner order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flatten()
+    }
+
+    /// Owners that have NS records strictly below the apex — i.e. the
+    /// delegations. For a TLD zone this is the list of registered domains,
+    /// which is exactly what seeds the daily OpenINTEL sweep.
+    pub fn delegations(&self) -> impl Iterator<Item = &Name> {
+        self.records.iter().filter_map(move |(owner, recs)| {
+            (owner != &self.origin && recs.iter().any(|r| r.data.rtype() == RType::Ns))
+                .then_some(owner)
+        })
+    }
+
+    /// NS records at a specific owner.
+    pub fn ns_at(&self, owner: &Name) -> Vec<&Record> {
+        self.records
+            .get(owner)
+            .map(|v| v.iter().filter(|r| r.data.rtype() == RType::Ns).collect())
+            .unwrap_or_default()
+    }
+
+    /// Authoritative lookup implementing RFC 1034 §4.3.2 zone semantics
+    /// (without wildcards or DNSSEC).
+    pub fn lookup(&self, qname: &Name, qtype: RType) -> Lookup {
+        if !qname.is_subdomain_of(&self.origin) {
+            return Lookup::OutOfZone;
+        }
+
+        // Check for a zone cut between the origin (exclusive) and qname
+        // (inclusive): walk enclosing names from just under the apex down,
+        // so the highest (closest-to-apex) delegation wins.
+        let qlabels: Vec<&[u8]> = qname.labels().collect();
+        let depth = qlabels.len() - self.origin.label_count();
+        for take in 1..=depth {
+            let cut = Name::from_labels(
+                qlabels[qlabels.len() - self.origin.label_count() - take..].iter().copied(),
+            )
+            .expect("sub-slice of a valid name");
+            if let Some(recs) = self.records.get(&cut) {
+                let ns: Vec<Record> = recs
+                    .iter()
+                    .filter(|r| r.data.rtype() == RType::Ns)
+                    .cloned()
+                    .collect();
+                if !ns.is_empty() && cut != self.origin {
+                    // Below a delegation — unless the query is *for* the cut
+                    // itself with type DS (parent-side type), or the query
+                    // is exactly the cut with type NS (we can answer as the
+                    // delegating parent: referral is still the norm).
+                    let parent_side = cut == *qname && qtype == RType::Ds;
+                    if !parent_side {
+                        let glue = self.glue_for(&ns);
+                        return Lookup::Delegation { ns, glue };
+                    }
+                }
+            }
+        }
+
+        if qname == &self.origin && qtype == RType::Soa {
+            return Lookup::Answer(vec![self.soa_record()]);
+        }
+        match self.records.get(qname) {
+            // The apex always exists (it carries the SOA), so a miss there
+            // is NoData, not NXDOMAIN.
+            None if qname == &self.origin => Lookup::NoData,
+            None => Lookup::NxDomain,
+            Some(recs) => {
+                let matching: Vec<Record> = recs
+                    .iter()
+                    .filter(|r| r.data.rtype() == qtype)
+                    .cloned()
+                    .collect();
+                if !matching.is_empty() {
+                    return Lookup::Answer(matching);
+                }
+                if let Some(cname) = recs.iter().find(|r| r.data.rtype() == RType::Cname) {
+                    return Lookup::Cname(cname.clone());
+                }
+                Lookup::NoData
+            }
+        }
+    }
+
+    /// Collect A/AAAA glue present in this zone for the given NS targets.
+    pub fn glue_for(&self, ns: &[Record]) -> Vec<Record> {
+        let mut glue = Vec::new();
+        for r in ns {
+            if let RData::Ns(target) = &r.data {
+                if let Some(recs) = self.records.get(target) {
+                    glue.extend(
+                        recs.iter()
+                            .filter(|g| matches!(g.data.rtype(), RType::A | RType::Aaaa))
+                            .cloned(),
+                    );
+                }
+            }
+        }
+        glue
+    }
+
+    /// Serialize to the textual zone format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("$ORIGIN {}\n", self.origin));
+        out.push_str(&format!("{}\n", self.soa_record()));
+        for r in self.iter() {
+            out.push_str(&format!("{r}\n"));
+        }
+        out
+    }
+
+    /// Parse the textual zone format produced by [`Zone::to_text`].
+    pub fn from_text(text: &str) -> Result<Zone, ZoneParseError> {
+        let err = |line: usize, reason: &str| ZoneParseError {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut origin: Option<Name> = None;
+        let mut zone: Option<Zone> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split(';').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("$ORIGIN") {
+                origin = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err(lineno, "bad $ORIGIN name"))?,
+                );
+                continue;
+            }
+            let record = parse_record_line(line).map_err(|reason| err(lineno, &reason))?;
+            match (&mut zone, &record.data) {
+                (None, RData::Soa(soa)) => {
+                    let origin = origin
+                        .clone()
+                        .unwrap_or_else(|| record.name.clone());
+                    if record.name != origin {
+                        return Err(err(lineno, "SOA owner differs from $ORIGIN"));
+                    }
+                    zone = Some(Zone::new(origin, soa.clone(), record.ttl));
+                }
+                (None, _) => return Err(err(lineno, "first record must be SOA")),
+                (Some(z), _) => {
+                    if !z.add(record) {
+                        return Err(err(lineno, "record out of zone"));
+                    }
+                }
+            }
+        }
+        zone.ok_or_else(|| err(0, "empty zone (no SOA)"))
+    }
+}
+
+/// Parse one zone-file line in the format emitted by `Record`'s `Display`.
+fn parse_record_line(line: &str) -> Result<Record, String> {
+    let mut tok = line.split_whitespace();
+    let name: Name = tok
+        .next()
+        .ok_or("missing owner")?
+        .parse()
+        .map_err(|e| format!("bad owner: {e}"))?;
+    let ttl: u32 = tok
+        .next()
+        .ok_or("missing ttl")?
+        .parse()
+        .map_err(|_| "bad ttl".to_owned())?;
+    let class = tok.next().ok_or("missing class")?;
+    if !class.eq_ignore_ascii_case("IN") {
+        return Err(format!("unsupported class {class}"));
+    }
+    let rtype = RType::from_mnemonic(tok.next().ok_or("missing type")?)
+        .ok_or("unknown record type")?;
+    let rest: Vec<&str> = tok.collect();
+    let p = |s: &str| -> Result<Name, String> { s.parse().map_err(|e| format!("bad name: {e}")) };
+
+    let data = match rtype {
+        RType::A => RData::A(
+            rest.first()
+                .ok_or("missing address")?
+                .parse()
+                .map_err(|_| "bad IPv4 address".to_owned())?,
+        ),
+        RType::Aaaa => RData::Aaaa(
+            rest.first()
+                .ok_or("missing address")?
+                .parse()
+                .map_err(|_| "bad IPv6 address".to_owned())?,
+        ),
+        RType::Ns => RData::Ns(p(rest.first().ok_or("missing NS target")?)?),
+        RType::Cname => RData::Cname(p(rest.first().ok_or("missing CNAME target")?)?),
+        RType::Mx => {
+            if rest.len() < 2 {
+                return Err("MX needs preference and target".into());
+            }
+            RData::Mx(
+                rest[0].parse().map_err(|_| "bad MX preference".to_owned())?,
+                p(rest[1])?,
+            )
+        }
+        RType::Soa => {
+            if rest.len() < 7 {
+                return Err("SOA needs 7 fields".into());
+            }
+            let nums: Result<Vec<u32>, _> = rest[2..7].iter().map(|s| s.parse::<u32>()).collect();
+            let nums = nums.map_err(|_| "bad SOA numeric field".to_owned())?;
+            RData::Soa(SoaData {
+                mname: p(rest[0])?,
+                rname: p(rest[1])?,
+                serial: nums[0],
+                refresh: nums[1],
+                retry: nums[2],
+                expire: nums[3],
+                minimum: nums[4],
+            })
+        }
+        RType::Txt => {
+            let joined = rest.join(" ");
+            let mut strings = Vec::new();
+            let mut cur = String::new();
+            let mut in_quotes = false;
+            for c in joined.chars() {
+                match (c, in_quotes) {
+                    ('"', false) => in_quotes = true,
+                    ('"', true) => {
+                        in_quotes = false;
+                        strings.push(std::mem::take(&mut cur).into_bytes());
+                    }
+                    (_, true) => cur.push(c),
+                    (_, false) => {}
+                }
+            }
+            if in_quotes {
+                return Err("unterminated TXT string".into());
+            }
+            RData::Txt(strings)
+        }
+        RType::Ds => {
+            if rest.len() < 4 {
+                return Err("DS needs 4 fields".into());
+            }
+            let digest_hex = rest[3];
+            if digest_hex.len() % 2 != 0 {
+                return Err("odd-length DS digest".into());
+            }
+            let digest: Result<Vec<u8>, _> = (0..digest_hex.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&digest_hex[i..i + 2], 16))
+                .collect();
+            RData::Ds(
+                rest[0].parse().map_err(|_| "bad DS key tag".to_owned())?,
+                rest[1].parse().map_err(|_| "bad DS algorithm".to_owned())?,
+                rest[2].parse().map_err(|_| "bad DS digest type".to_owned())?,
+                digest.map_err(|_| "bad DS digest hex".to_owned())?,
+            )
+        }
+    };
+    Ok(Record { name, ttl, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn tld_zone() -> Zone {
+        let soa = SoaData {
+            mname: name("a.dns.ripn.net"),
+            rname: name("hostmaster.ripn.net"),
+            serial: 1,
+            refresh: 86400,
+            retry: 14400,
+            expire: 2_592_000,
+            minimum: 3600,
+        };
+        let mut z = Zone::new(name("ru"), soa, 86400);
+        z.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.example.ru"))));
+        z.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns2.hoster.com"))));
+        z.add(Record::new(
+            name("ns1.example.ru"),
+            3600,
+            RData::A("198.51.100.53".parse().unwrap()),
+        ));
+        z.add(Record::new(name("other.ru"), 3600, RData::Ns(name("dns.other.ru"))));
+        z
+    }
+
+    #[test]
+    fn add_rejects_out_of_zone() {
+        let mut z = tld_zone();
+        assert!(!z.add(Record::new(
+            name("example.com"),
+            60,
+            RData::A("192.0.2.1".parse().unwrap())
+        )));
+        assert!(z.add(Record::new(
+            name("deep.sub.example.ru"),
+            60,
+            RData::A("192.0.2.1".parse().unwrap())
+        )));
+    }
+
+    #[test]
+    fn delegations_enumerated() {
+        let z = tld_zone();
+        let delegs: Vec<String> = z.delegations().map(|n| n.to_string()).collect();
+        assert_eq!(delegs, vec!["example.ru.", "other.ru."]);
+    }
+
+    #[test]
+    fn lookup_referral_with_glue() {
+        let z = tld_zone();
+        match z.lookup(&name("www.example.ru"), RType::A) {
+            Lookup::Delegation { ns, glue } => {
+                assert_eq!(ns.len(), 2);
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].name, name("ns1.example.ru"));
+            }
+            other => panic!("expected delegation, got {other:?}"),
+        }
+        // Querying the delegated name itself also refers.
+        assert!(matches!(
+            z.lookup(&name("example.ru"), RType::A),
+            Lookup::Delegation { .. }
+        ));
+    }
+
+    #[test]
+    fn lookup_ds_is_parent_side() {
+        let mut z = tld_zone();
+        z.add(Record::new(name("example.ru"), 3600, RData::Ds(1, 8, 2, vec![0xAA])));
+        match z.lookup(&name("example.ru"), RType::Ds) {
+            Lookup::Answer(recs) => assert_eq!(recs.len(), 1),
+            other => panic!("expected DS answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_nxdomain_nodata_outofzone() {
+        let z = tld_zone();
+        assert_eq!(z.lookup(&name("missing.ru"), RType::A), Lookup::NxDomain);
+        assert_eq!(z.lookup(&name("ru"), RType::A), Lookup::NoData);
+        assert_eq!(z.lookup(&name("example.com"), RType::A), Lookup::OutOfZone);
+    }
+
+    #[test]
+    fn lookup_apex_soa_and_under_delegation_glue_name() {
+        let z = tld_zone();
+        // Glue owner is under the example.ru cut, so an A query for it refers.
+        assert!(matches!(
+            z.lookup(&name("ns1.example.ru"), RType::A),
+            Lookup::Delegation { .. }
+        ));
+    }
+
+    #[test]
+    fn cname_lookup() {
+        let soa = tld_zone().soa().clone();
+        let mut z = Zone::new(name("example.ru"), soa, 3600);
+        z.add(Record::new(name("www.example.ru"), 60, RData::Cname(name("example.ru"))));
+        z.add(Record::new(name("example.ru"), 60, RData::A("192.0.2.2".parse().unwrap())));
+        match z.lookup(&name("www.example.ru"), RType::A) {
+            Lookup::Cname(r) => assert_eq!(r.name, name("www.example.ru")),
+            other => panic!("expected CNAME, got {other:?}"),
+        }
+        // Direct CNAME query answers the CNAME itself.
+        match z.lookup(&name("www.example.ru"), RType::Cname) {
+            Lookup::Answer(recs) => assert_eq!(recs.len(), 1),
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_records() {
+        let mut z = tld_zone();
+        assert_eq!(z.remove(&name("example.ru"), Some(RType::Ns)), 2);
+        assert_eq!(z.lookup(&name("example.ru"), RType::Ns), Lookup::NxDomain);
+        assert_eq!(z.remove(&name("nothing.ru"), None), 0);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let z = tld_zone();
+        let text = z.to_text();
+        let back = Zone::from_text(&text).unwrap();
+        assert_eq!(back, z);
+    }
+
+    #[test]
+    fn text_roundtrip_all_rdata() {
+        let soa = tld_zone().soa().clone();
+        let mut z = Zone::new(name("example.ru"), soa, 3600);
+        z.add(Record::new(name("example.ru"), 60, RData::A("192.0.2.2".parse().unwrap())));
+        z.add(Record::new(name("example.ru"), 60, RData::Aaaa("2001:db8::2".parse().unwrap())));
+        z.add(Record::new(name("example.ru"), 60, RData::Mx(10, name("mx.example.ru"))));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::Txt(vec![b"v=spf1 -all".to_vec()]),
+        ));
+        z.add(Record::new(name("example.ru"), 60, RData::Ds(7, 8, 2, vec![0xDE, 0xAD])));
+        z.add(Record::new(name("www.example.ru"), 60, RData::Cname(name("example.ru"))));
+        let back = Zone::from_text(&z.to_text()).unwrap();
+        assert_eq!(back, z);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Zone::from_text("").is_err());
+        assert!(Zone::from_text("$ORIGIN ru.\nexample.ru. 60 IN A 192.0.2.1\n").is_err());
+        let bad = "$ORIGIN ru.\nru. 86400 IN SOA a. b. 1 2 3 4 5\nexample.ru. x IN A 192.0.2.1\n";
+        let e = Zone::from_text(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n; a comment\n$ORIGIN ru.\nru. 86400 IN SOA a. b. 1 2 3 4 5 ; inline\n\nexample.ru. 60 IN NS ns.example.ru. ; deleg\n";
+        let z = Zone::from_text(text).unwrap();
+        assert_eq!(z.record_count(), 1);
+    }
+}
+
+/// The delegation-level difference between two zone snapshots — how
+/// registries publish daily change sets, and how a measurement pipeline
+/// can separate newly registered names from lapsed ones without WHOIS.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneDiff {
+    /// Delegations present in `new` but not `old`.
+    pub added: Vec<Name>,
+    /// Delegations present in `old` but not `new`.
+    pub removed: Vec<Name>,
+    /// Delegations whose NS RRset changed.
+    pub changed: Vec<Name>,
+}
+
+impl ZoneDiff {
+    /// Compute the delegation diff between two snapshots of the same zone.
+    pub fn between(old: &Zone, new: &Zone) -> ZoneDiff {
+        let ns_sets = |z: &Zone| -> std::collections::BTreeMap<Name, Vec<String>> {
+            z.delegations()
+                .map(|owner| {
+                    let mut targets: Vec<String> = z
+                        .ns_at(owner)
+                        .iter()
+                        .map(|r| r.to_string())
+                        .collect();
+                    targets.sort();
+                    (owner.clone(), targets)
+                })
+                .collect()
+        };
+        let o = ns_sets(old);
+        let n = ns_sets(new);
+        let mut diff = ZoneDiff::default();
+        for (owner, set) in &n {
+            match o.get(owner) {
+                None => diff.added.push(owner.clone()),
+                Some(old_set) if old_set != set => diff.changed.push(owner.clone()),
+                Some(_) => {}
+            }
+        }
+        for owner in o.keys() {
+            if !n.contains_key(owner) {
+                diff.removed.push(owner.clone());
+            }
+        }
+        diff
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+    use crate::rdata::RData;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn soa() -> SoaData {
+        SoaData {
+            mname: name("m.invalid"),
+            rname: name("r.invalid"),
+            serial: 1,
+            refresh: 1,
+            retry: 1,
+            expire: 1,
+            minimum: 60,
+        }
+    }
+
+    fn zone(delegs: &[(&str, &str)]) -> Zone {
+        let mut z = Zone::new(name("ru"), soa(), 3600);
+        for (owner, target) in delegs {
+            z.add(Record::new(name(owner), 3600, RData::Ns(name(target))));
+        }
+        z
+    }
+
+    #[test]
+    fn diff_detects_all_change_kinds() {
+        let old = zone(&[("a.ru", "ns1.x.ru"), ("b.ru", "ns1.x.ru"), ("c.ru", "ns1.x.ru")]);
+        let new = zone(&[("a.ru", "ns1.x.ru"), ("b.ru", "ns2.y.com"), ("d.ru", "ns1.x.ru")]);
+        let diff = ZoneDiff::between(&old, &new);
+        assert_eq!(diff.added, vec![name("d.ru")]);
+        assert_eq!(diff.removed, vec![name("c.ru")]);
+        assert_eq!(diff.changed, vec![name("b.ru")]);
+        assert!(!diff.is_empty());
+    }
+
+    #[test]
+    fn identical_zones_diff_empty() {
+        let a = zone(&[("a.ru", "ns1.x.ru")]);
+        let b = zone(&[("a.ru", "ns1.x.ru")]);
+        assert!(ZoneDiff::between(&a, &b).is_empty());
+    }
+}

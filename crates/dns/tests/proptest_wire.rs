@@ -1,0 +1,114 @@
+//! Property tests: wire round-trips and decoder robustness.
+
+use proptest::prelude::*;
+use ruwhere_dns::{Flags, Message, Name, Opcode, Question, RData, RType, Rcode, Record, SoaData};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    // DNS labels: start/end alphanumeric, middle may contain hyphens.
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| Name::from_labels(labels).expect("generated labels are valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
+            .prop_map(RData::Txt),
+        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(t, a, d, dg)| RData::Ds(t, a, d, dg)),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, data)| Record { name, ttl, data })
+}
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0u8..16).prop_map(
+        |(qr, aa, tc, rd, ra, rc)| Flags {
+            qr,
+            opcode: Opcode::Query,
+            aa,
+            tc,
+            rd,
+            ra,
+            rcode: match rc {
+                0 => Rcode::NoError,
+                1 => Rcode::FormErr,
+                2 => Rcode::ServFail,
+                3 => Rcode::NxDomain,
+                4 => Rcode::NotImp,
+                5 => Rcode::Refused,
+                c => Rcode::Other(c),
+            },
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_flags(),
+        proptest::collection::vec((arb_name(), prop_oneof![Just(RType::A), Just(RType::Ns), Just(RType::Aaaa)]), 0..2),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(id, flags, qs, answers, authorities, additionals)| Message {
+            id,
+            flags,
+            questions: qs.into_iter().map(|(n, t)| Question::new(n, t)).collect(),
+            answers,
+            authorities,
+            additionals,
+        })
+}
+
+proptest! {
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let buf = msg.encode().unwrap();
+        let back = Message::decode(&buf).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Must return an error or a value, never panic.
+        let _ = Message::decode(&data);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let mut buf = msg.encode().unwrap();
+        if buf.is_empty() { return Ok(()); }
+        for (idx, val) in flips {
+            let i = idx.index(buf.len());
+            buf[i] ^= val;
+        }
+        let _ = Message::decode(&buf);
+    }
+
+    #[test]
+    fn name_roundtrip_via_string(name in arb_name()) {
+        let s = name.to_string();
+        let back: Name = s.parse().unwrap();
+        prop_assert_eq!(back, name);
+    }
+}

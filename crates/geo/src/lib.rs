@@ -1,0 +1,35 @@
+//! IP geolocation in the style of the IP2Location database the paper uses.
+//!
+//! The real IP2Location product is a flat table of *address ranges* (not
+//! CIDR prefixes) mapped to countries, refreshed periodically. [`GeoDb`]
+//! reproduces that: a sorted, non-overlapping set of `u32` ranges with
+//! binary-search lookup; [`LongitudinalGeoDb`] stacks effective-dated
+//! snapshots so the analysis can ask "where did this IP geolocate *on this
+//! date*?" — the paper's footnote 5 caveat (geolocation updates lag
+//! infrastructure moves) falls out of the snapshot cadence naturally.
+
+//! ```
+//! use ruwhere_geo::{GeoDbBuilder, LongitudinalGeoDb};
+//! use ruwhere_types::{Country, Date};
+//!
+//! let mut l = LongitudinalGeoDb::new();
+//! let mut b = GeoDbBuilder::new();
+//! b.assign_net("194.85.0.0/16".parse().unwrap(), Country::SE);
+//! l.add_snapshot(Date::from_ymd(2022, 1, 1), b.build());
+//! let mut b = GeoDbBuilder::new();
+//! b.assign_net("194.85.0.0/16".parse().unwrap(), Country::RU);
+//! l.add_snapshot(Date::from_ymd(2022, 3, 15), b.build());
+//!
+//! let ip = "194.85.61.20".parse().unwrap();
+//! assert_eq!(l.lookup(Date::from_ymd(2022, 3, 1), ip), Some(Country::SE));
+//! assert_eq!(l.lookup(Date::from_ymd(2022, 3, 20), ip), Some(Country::RU));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod longitudinal;
+
+pub use db::{GeoDb, GeoDbBuilder};
+pub use longitudinal::LongitudinalGeoDb;

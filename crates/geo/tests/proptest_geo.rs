@@ -1,0 +1,84 @@
+//! Property tests: the range-splitting geolocation builder against a
+//! brute-force per-address model.
+
+use proptest::prelude::*;
+use ruwhere_geo::GeoDbBuilder;
+use ruwhere_types::Country;
+use std::net::Ipv4Addr;
+
+const COUNTRIES: [Country; 4] = [Country::RU, Country::US, Country::DE, Country::SE];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn builder_matches_bruteforce_model(
+        // Confine to a small window so overlaps are frequent.
+        ops in proptest::collection::vec((0u32..512, 0u32..512, 0usize..4), 1..25),
+        probes in proptest::collection::vec(0u32..600, 32),
+    ) {
+        const BASE: u32 = 0x0A000000; // 10.0.0.0
+        let mut builder = GeoDbBuilder::new();
+        let mut model: Vec<Option<Country>> = vec![None; 600];
+        for (a, b, c) in &ops {
+            let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+            let country = COUNTRIES[*c];
+            builder.assign(
+                Ipv4Addr::from(BASE + lo),
+                Ipv4Addr::from(BASE + hi),
+                country,
+            );
+            for x in lo..=hi {
+                if (x as usize) < model.len() {
+                    model[x as usize] = Some(country);
+                }
+            }
+        }
+        let db = builder.build();
+        for &p in &probes {
+            let got = db.lookup(Ipv4Addr::from(BASE + p));
+            prop_assert_eq!(got, model[p as usize], "mismatch at offset {}", p);
+        }
+    }
+
+    #[test]
+    fn coverage_equals_model_coverage(
+        ops in proptest::collection::vec((0u32..256, 0u32..256, 0usize..4), 1..15),
+    ) {
+        const BASE: u32 = 0xC0000200; // 192.0.2.0
+        let mut builder = GeoDbBuilder::new();
+        let mut covered = vec![false; 256];
+        for (a, b, c) in &ops {
+            let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+            builder.assign(Ipv4Addr::from(BASE + lo), Ipv4Addr::from(BASE + hi), COUNTRIES[*c]);
+            for x in lo..=hi {
+                covered[x as usize] = true;
+            }
+        }
+        let db = builder.build();
+        let expected = covered.iter().filter(|c| **c).count() as u64;
+        prop_assert_eq!(db.coverage(), expected);
+    }
+
+    #[test]
+    fn ranges_never_overlap(
+        ops in proptest::collection::vec((0u32..1024, 0u32..1024, 0usize..4), 1..30),
+    ) {
+        let mut builder = GeoDbBuilder::new();
+        for (a, b, c) in &ops {
+            let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+            builder.assign(Ipv4Addr::from(lo), Ipv4Addr::from(hi), COUNTRIES[*c]);
+        }
+        let db = builder.build();
+        let ranges: Vec<(Ipv4Addr, Ipv4Addr, Country)> = db.iter().collect();
+        for w in ranges.windows(2) {
+            let (_, end_a, c_a) = w[0];
+            let (start_b, _, c_b) = w[1];
+            prop_assert!(u32::from(end_a) < u32::from(start_b), "ranges overlap or touch out of order");
+            // Adjacent equal-country ranges must have been merged.
+            if u32::from(end_a) + 1 == u32::from(start_b) {
+                prop_assert_ne!(c_a, c_b, "unmerged adjacent ranges with equal country");
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper's measurement systems (OpenINTEL-style DNS sweeps, Censys-style
+//! TLS scans) are *active* network measurements. To reproduce the mechanism
+//! rather than just the arithmetic, this crate provides a small but real
+//! packet-level substrate:
+//!
+//! * [`ip`] — IPv4 CIDR prefixes and address allocation.
+//! * [`routing`] — a bit-trie longest-prefix-match table.
+//! * [`topology`] — an AS-level topology mapping prefixes to autonomous
+//!   systems with countries and deterministic inter-AS latencies.
+//! * [`sim`] — the event core: virtual time, a scheduler, hosts with UDP
+//!   services, and a synchronous client request/response facade used by the
+//!   resolver and the scanners.
+//!
+//! Everything is deterministic: latency, jitter and loss are pure functions
+//! of a [`ruwhere_types::SeedTree`] seed and packet identity, so a scan run
+//! twice produces byte-identical datasets.
+//!
+//! ```
+//! use ruwhere_netsim::{AsInfo, Datagram, Network, Service, SimTime, Topology};
+//! use ruwhere_types::{Asn, Country, SeedTree};
+//! use std::net::Ipv4Addr;
+//!
+//! struct Upper;
+//! impl Service for Upper {
+//!     fn handle(&mut self, p: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+//!         Some(p.to_ascii_uppercase())
+//!     }
+//! }
+//!
+//! let mut topo = Topology::new(SeedTree::new(1).child("topo"));
+//! topo.add_as(AsInfo { asn: Asn(64500), org: "CLIENT".into(), country: Country::NL });
+//! topo.add_as(AsInfo { asn: Asn(64501), org: "SERVER".into(), country: Country::RU });
+//! topo.announce("10.0.0.0/8".parse().unwrap(), Asn(64500));
+//! topo.announce("192.0.2.0/24".parse().unwrap(), Asn(64501));
+//!
+//! let mut net = Network::new(topo, SeedTree::new(1).child("net"));
+//! net.bind("192.0.2.7".parse().unwrap(), 7, Box::new(Upper));
+//! let reply = net
+//!     .request("10.0.0.1".parse().unwrap(), ("192.0.2.7".parse().unwrap(), 7), b"ping", 1_000_000, 1)
+//!     .unwrap();
+//! assert_eq!(reply, b"PING");
+//! assert!(net.now().as_micros() > 0); // latency was paid
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ip;
+pub mod routing;
+pub mod sim;
+pub mod topology;
+
+pub use ip::{IpAllocator, Ipv4Net, PrefixParseError};
+pub use routing::RoutingTable;
+pub use sim::{Datagram, NetError, Network, Service, SimTime};
+pub use topology::{AsInfo, Topology};

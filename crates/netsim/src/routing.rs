@@ -1,0 +1,228 @@
+//! Longest-prefix-match routing table as a binary trie.
+
+use crate::ip::Ipv4Net;
+use std::net::Ipv4Addr;
+
+/// A binary (one bit per level) trie mapping IPv4 prefixes to values.
+///
+/// Lookup walks at most 32 levels and returns the value of the most specific
+/// matching prefix — the standard FIB longest-prefix-match.
+///
+/// ```
+/// use ruwhere_netsim::RoutingTable;
+/// let mut t = RoutingTable::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// assert_eq!(t.lookup("10.1.2.3".parse().unwrap()), Some(&"fine"));
+/// assert_eq!(t.lookup("10.9.9.9".parse().unwrap()), Some(&"coarse"));
+/// assert_eq!(t.lookup("192.0.2.1".parse().unwrap()), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [Option<u32>; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Node {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<V> RoutingTable<V> {
+    /// Empty table.
+    pub fn new() -> Self {
+        RoutingTable {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes with a value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value at `net`. Returns the previous value.
+    pub fn insert(&mut self, net: Ipv4Net, value: V) -> Option<V> {
+        let mut idx = 0usize;
+        let bits = net.bits();
+        for depth in 0..net.prefix_len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            let next = match self.nodes[idx].children[bit] {
+                Some(n) => n as usize,
+                None => {
+                    self.nodes.push(Node::empty());
+                    let n = self.nodes.len() - 1;
+                    self.nodes[idx].children[bit] = Some(n as u32);
+                    n
+                }
+            };
+            idx = next;
+        }
+        let old = self.nodes[idx].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the value at exactly `net`. Returns the removed value.
+    pub fn remove(&mut self, net: Ipv4Net) -> Option<V> {
+        let mut idx = 0usize;
+        let bits = net.bits();
+        for depth in 0..net.prefix_len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            idx = self.nodes[idx].children[bit]? as usize;
+        }
+        let old = self.nodes[idx].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&V> {
+        let bits = u32::from(ip);
+        let mut idx = 0usize;
+        let mut best: Option<&V> = self.nodes[0].value.as_ref();
+        for depth in 0..32 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match self.nodes[idx].children[bit] {
+                Some(next) => {
+                    idx = next as usize;
+                    if let Some(v) = self.nodes[idx].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match lookup of a prefix (not LPM).
+    pub fn get(&self, net: Ipv4Net) -> Option<&V> {
+        let mut idx = 0usize;
+        let bits = net.bits();
+        for depth in 0..net.prefix_len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            idx = self.nodes[idx].children[bit]? as usize;
+        }
+        self.nodes[idx].value.as_ref()
+    }
+}
+
+impl<V> Default for RoutingTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = RoutingTable::new();
+        t.insert(net("0.0.0.0/0"), 0);
+        t.insert(net("10.0.0.0/8"), 8);
+        t.insert(net("10.1.0.0/16"), 16);
+        t.insert(net("10.1.2.0/24"), 24);
+        t.insert(net("10.1.2.3/32"), 32);
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some(&32));
+        assert_eq!(t.lookup(ip("10.1.2.4")), Some(&24));
+        assert_eq!(t.lookup(ip("10.1.3.1")), Some(&16));
+        assert_eq!(t.lookup(ip("10.2.0.1")), Some(&8));
+        assert_eq!(t.lookup(ip("11.0.0.1")), Some(&0));
+    }
+
+    #[test]
+    fn insert_replace_and_remove() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.insert(net("192.0.2.0/24"), "a"), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(net("192.0.2.0/24"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(net("192.0.2.0/24")), Some(&"b"));
+        assert_eq!(t.remove(net("192.0.2.0/24")), Some("b"));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(ip("192.0.2.1")), None);
+        assert_eq!(t.remove(net("192.0.2.0/24")), None);
+    }
+
+    #[test]
+    fn removal_keeps_covering_prefix() {
+        let mut t = RoutingTable::new();
+        t.insert(net("10.0.0.0/8"), "big");
+        t.insert(net("10.1.0.0/16"), "small");
+        assert_eq!(t.lookup(ip("10.1.1.1")), Some(&"small"));
+        t.remove(net("10.1.0.0/16"));
+        assert_eq!(t.lookup(ip("10.1.1.1")), Some(&"big"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: RoutingTable<u8> = RoutingTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.2.3.4")), None);
+    }
+
+    #[test]
+    fn exact_get_is_not_lpm() {
+        let mut t = RoutingTable::new();
+        t.insert(net("10.0.0.0/8"), 1);
+        assert_eq!(t.get(net("10.0.0.0/8")), Some(&1));
+        assert_eq!(t.get(net("10.0.0.0/16")), None);
+    }
+
+    #[test]
+    fn dense_random_consistency() {
+        // Cross-check the trie against a brute-force scan on random data.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xDA7A);
+        let mut t = RoutingTable::new();
+        let mut reference: Vec<(Ipv4Net, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let addr = Ipv4Addr::from(rng.random::<u32>());
+            let len = rng.random_range(4..=28);
+            let n = Ipv4Net::new(addr, len).unwrap();
+            t.insert(n, i);
+            reference.retain(|(rn, _)| *rn != n);
+            reference.push((n, i));
+        }
+        for _ in 0..2000 {
+            let probe = Ipv4Addr::from(rng.random::<u32>());
+            let expected = reference
+                .iter()
+                .filter(|(n, _)| n.contains(probe))
+                .max_by_key(|(n, _)| n.prefix_len())
+                .map(|(_, v)| v);
+            assert_eq!(t.lookup(probe), expected, "mismatch at {probe}");
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The discrete-event core: virtual time, scheduled datagram delivery,
+//! services, and a synchronous client facade.
+//!
+//! All measurement traffic in the workspace is strict request/response
+//! (DNS queries, TLS banner grabs), so the public entry point is
+//! [`Network::request`]: it injects a datagram, then drives the event loop
+//! until the matching reply arrives at the client's ephemeral port or the
+//! timeout expires. Latency, jitter and loss are deterministic functions of
+//! the topology seed and a per-packet sequence number.
+
+use crate::topology::Topology;
+use ruwhere_types::SeedTree;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Virtual time in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of microseconds.
+    #[must_use]
+    pub const fn plus_us(self, us: u64) -> Self {
+        SimTime(self.0.saturating_add(us))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+/// A UDP-like datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address and port.
+    pub src: (Ipv4Addr, u16),
+    /// Destination address and port.
+    pub dst: (Ipv4Addr, u16),
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A request/response server bound to an address and port.
+pub trait Service {
+    /// Handle one datagram payload; return the reply payload, or `None` to
+    /// stay silent (the client will time out — how a black-holed or
+    /// decommissioned server manifests to a scanner).
+    fn handle(&mut self, payload: &[u8], src: (Ipv4Addr, u16), now: SimTime) -> Option<Vec<u8>>;
+
+    /// Server-side processing delay in microseconds (default 100 µs).
+    fn processing_us(&self) -> u64 {
+        100
+    }
+}
+
+/// Transport-level failures visible to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// No reply within the timeout (loss, silent server, or no server).
+    Timeout,
+    /// The client source address is not attached to any announced prefix.
+    NoRoute,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "request timed out"),
+            NetError::NoRoute => write!(f, "source address has no route"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams injected (requests + replies).
+    pub sent: u64,
+    /// Datagrams dropped by the loss process.
+    pub dropped: u64,
+    /// Datagrams delivered to a service or client.
+    pub delivered: u64,
+    /// Requests that found no listening service.
+    pub unreachable: u64,
+}
+
+enum Event {
+    Deliver(Datagram),
+}
+
+/// The simulated network: topology + services + event queue.
+pub struct Network {
+    topo: Topology,
+    seed: SeedTree,
+    services: HashMap<(Ipv4Addr, u16), Box<dyn Service>>,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pending: HashMap<u64, Event>,
+    now: SimTime,
+    seq: u64,
+    /// Packet loss probability in [0, 1).
+    pub loss_rate: f64,
+    stats: NetStats,
+}
+
+impl Network {
+    /// New network over `topo`; `seed` drives the loss process.
+    pub fn new(topo: Topology, seed: SeedTree) -> Self {
+        Network {
+            topo,
+            seed,
+            services: HashMap::new(),
+            queue: BinaryHeap::new(),
+            pending: HashMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            loss_rate: 0.0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable topology access.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (provider events re-announce prefixes).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Bind a service to `addr:port`, replacing any previous binding.
+    pub fn bind(&mut self, addr: Ipv4Addr, port: u16, service: Box<dyn Service>) {
+        self.services.insert((addr, port), service);
+    }
+
+    /// Remove the service at `addr:port` (the provider shut the box down).
+    pub fn unbind(&mut self, addr: Ipv4Addr, port: u16) -> bool {
+        self.services.remove(&(addr, port)).is_some()
+    }
+
+    /// Whether anything listens at `addr:port`.
+    pub fn is_bound(&self, addr: Ipv4Addr, port: u16) -> bool {
+        self.services.contains_key(&(addr, port))
+    }
+
+    /// All addresses with a service bound on `port`, in sorted order.
+    ///
+    /// An Internet-wide scanner (Censys-style) conceptually probes the whole
+    /// address space and keeps the responders; enumerating the bound
+    /// endpoints yields exactly that responder set without simulating
+    /// billions of dead probes. Callers still issue a real [`request`]
+    /// (latency + loss) per responder.
+    ///
+    /// [`request`]: Network::request
+    pub fn bound_endpoints(&self, port: u16) -> Vec<Ipv4Addr> {
+        let mut v: Vec<Ipv4Addr> = self
+            .services
+            .keys()
+            .filter(|(_, p)| *p == port)
+            .map(|(a, _)| *a)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Deterministic Bernoulli(loss_rate) draw for packet `seq`.
+    fn lost(&self, seq: u64) -> bool {
+        if self.loss_rate <= 0.0 {
+            return false;
+        }
+        let h = self.seed.child("loss").child_idx(seq).seed();
+        // Map to [0,1) with 53-bit precision.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.loss_rate
+    }
+
+    fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, packet_id: u64) -> Option<u64> {
+        let a = self.topo.asn_of(from)?;
+        let b = self.topo.asn_of(to)?;
+        Some(self.topo.latency_us(a, b) + self.topo.jitter_us(a, b, packet_id))
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        let id = self.next_seq();
+        self.pending.insert(id, ev);
+        self.queue.push(Reverse((at, id)));
+    }
+
+    /// Inject a datagram from `dgram.src` at the current time. Applies the
+    /// loss process and schedules delivery. Returns `false` if the source
+    /// has no route (nothing is scheduled).
+    pub fn send(&mut self, dgram: Datagram) -> bool {
+        let seq = self.next_seq();
+        self.stats.sent += 1;
+        let Some(lat) = self.one_way_us(dgram.src.0, dgram.dst.0, seq) else {
+            return false;
+        };
+        if self.lost(seq) {
+            self.stats.dropped += 1;
+            return true; // it was sent; the network ate it
+        }
+        let at = self.now.plus_us(lat);
+        self.schedule(at, Event::Deliver(dgram));
+        true
+    }
+
+    /// Process events until `deadline`, watching for a datagram addressed to
+    /// `watch` (a client's ephemeral binding). Returns the matching payload
+    /// if it arrives. Time advances to the arrival or to the deadline.
+    fn run_until(&mut self, deadline: SimTime, watch: (Ipv4Addr, u16)) -> Option<Vec<u8>> {
+        while let Some(&Reverse((at, id))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            self.queue.pop();
+            let Some(Event::Deliver(dgram)) = self.pending.remove(&id) else {
+                continue;
+            };
+            self.now = at;
+            if dgram.dst == watch {
+                self.stats.delivered += 1;
+                return Some(dgram.payload);
+            }
+            self.deliver_to_service(dgram);
+        }
+        self.now = deadline;
+        None
+    }
+
+    fn deliver_to_service(&mut self, dgram: Datagram) {
+        let key = dgram.dst;
+        let Some(mut svc) = self.services.remove(&key) else {
+            self.stats.unreachable += 1;
+            return;
+        };
+        self.stats.delivered += 1;
+        let reply = svc.handle(&dgram.payload, dgram.src, self.now);
+        let proc = svc.processing_us();
+        self.services.insert(key, svc);
+        if let Some(payload) = reply {
+            let seq = self.next_seq();
+            self.stats.sent += 1;
+            if self.lost(seq) {
+                self.stats.dropped += 1;
+                return;
+            }
+            if let Some(lat) = self.one_way_us(dgram.dst.0, dgram.src.0, seq) {
+                let at = self.now.plus_us(proc + lat);
+                self.schedule(
+                    at,
+                    Event::Deliver(Datagram {
+                        src: dgram.dst,
+                        dst: dgram.src,
+                        payload,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Synchronous request/response with retries.
+    ///
+    /// Each attempt waits `timeout_us`; after `attempts` failures the call
+    /// returns [`NetError::Timeout`]. On success, virtual time has advanced
+    /// by the full round trip (plus any failed attempts' timeouts).
+    pub fn request(
+        &mut self,
+        src_ip: Ipv4Addr,
+        dst: (Ipv4Addr, u16),
+        payload: &[u8],
+        timeout_us: u64,
+        attempts: u32,
+    ) -> Result<Vec<u8>, NetError> {
+        if self.topo.asn_of(src_ip).is_none() {
+            return Err(NetError::NoRoute);
+        }
+        for attempt in 0..attempts.max(1) {
+            // Fresh ephemeral port per attempt so a late reply to an earlier
+            // attempt is not mistaken for this one.
+            let port = 49152 + ((self.seq.wrapping_add(u64::from(attempt))) % 16384) as u16;
+            let me = (src_ip, port);
+            self.send(Datagram {
+                src: me,
+                dst,
+                payload: payload.to_vec(),
+            });
+            let deadline = self.now.plus_us(timeout_us);
+            if let Some(reply) = self.run_until(deadline, me) {
+                return Ok(reply);
+            }
+        }
+        Err(NetError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::AsInfo;
+    use ruwhere_types::{Asn, Country};
+
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&mut self, payload: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+            let mut v = payload.to_vec();
+            v.reverse();
+            Some(v)
+        }
+    }
+
+    struct Silent;
+    impl Service for Silent {
+        fn handle(&mut self, _p: &[u8], _s: (Ipv4Addr, u16), _n: SimTime) -> Option<Vec<u8>> {
+            None
+        }
+    }
+
+    fn network() -> Network {
+        let mut topo = Topology::new(SeedTree::new(5).child("topo"));
+        topo.add_as(AsInfo { asn: Asn(100), org: "CLIENT".into(), country: Country::NL });
+        topo.add_as(AsInfo { asn: Asn(200), org: "SERVER".into(), country: Country::RU });
+        topo.announce("10.0.0.0/8".parse().unwrap(), Asn(100));
+        topo.announce("192.0.2.0/24".parse().unwrap(), Asn(200));
+        Network::new(topo, SeedTree::new(5).child("net"))
+    }
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 53);
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut net = network();
+        net.bind(SERVER, 53, Box::new(Echo));
+        let t0 = net.now();
+        let reply = net.request(CLIENT, (SERVER, 53), b"abc", 5_000_000, 1).unwrap();
+        assert_eq!(reply, b"cba");
+        // Time advanced by a plausible RTT (2 one-way latencies + proc).
+        let elapsed = net.now().as_micros() - t0.as_micros();
+        assert!(elapsed > 10_000, "elapsed {elapsed}us too fast");
+        assert!(elapsed < 400_000, "elapsed {elapsed}us too slow");
+    }
+
+    #[test]
+    fn timeout_when_no_service() {
+        let mut net = network();
+        let t0 = net.now();
+        let err = net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 2).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert_eq!(net.now().as_micros() - t0.as_micros(), 2_000_000);
+        assert_eq!(net.stats().unreachable, 2);
+    }
+
+    #[test]
+    fn timeout_when_server_silent() {
+        let mut net = network();
+        net.bind(SERVER, 53, Box::new(Silent));
+        let err = net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn no_route_source() {
+        let mut net = network();
+        net.bind(SERVER, 53, Box::new(Echo));
+        let err = net
+            .request(Ipv4Addr::new(203, 0, 113, 1), (SERVER, 53), b"x", 1_000, 1)
+            .unwrap_err();
+        assert_eq!(err, NetError::NoRoute);
+    }
+
+    #[test]
+    fn unbind_makes_unreachable() {
+        let mut net = network();
+        net.bind(SERVER, 53, Box::new(Echo));
+        assert!(net.is_bound(SERVER, 53));
+        assert!(net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).is_ok());
+        assert!(net.unbind(SERVER, 53));
+        assert!(!net.unbind(SERVER, 53));
+        assert!(net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).is_err());
+    }
+
+    #[test]
+    fn loss_causes_retries_and_determinism() {
+        let run = |loss: f64| -> (u64, u64) {
+            let mut net = network();
+            net.loss_rate = loss;
+            net.bind(SERVER, 53, Box::new(Echo));
+            let mut ok = 0u64;
+            for _ in 0..200 {
+                if net.request(CLIENT, (SERVER, 53), b"q", 200_000, 3).is_ok() {
+                    ok += 1;
+                }
+            }
+            (ok, net.stats().dropped)
+        };
+        let (ok_lossless, dropped_lossless) = run(0.0);
+        assert_eq!(ok_lossless, 200);
+        assert_eq!(dropped_lossless, 0);
+
+        let (ok_lossy, dropped_lossy) = run(0.3);
+        assert!(dropped_lossy > 0, "loss process never fired");
+        // With 3 attempts and 30% per-packet loss, nearly all succeed:
+        // P(fail) = (1 - 0.7^2)^3 ≈ 13%.
+        assert!(ok_lossy > 140, "only {ok_lossy}/200 succeeded");
+        assert!(ok_lossy < 200, "loss had no observable effect");
+
+        // Determinism: identical runs, identical counters.
+        assert_eq!(run(0.3), (ok_lossy, dropped_lossy));
+    }
+
+    #[test]
+    fn stateful_service_sees_all_requests() {
+        struct Counter(u64);
+        impl Service for Counter {
+            fn handle(&mut self, _p: &[u8], _s: (Ipv4Addr, u16), _n: SimTime) -> Option<Vec<u8>> {
+                self.0 += 1;
+                Some(self.0.to_be_bytes().to_vec())
+            }
+        }
+        let mut net = network();
+        net.bind(SERVER, 80, Box::new(Counter(0)));
+        for expect in 1..=3u64 {
+            let r = net.request(CLIENT, (SERVER, 80), b"", 1_000_000, 1).unwrap();
+            assert_eq!(r, expect.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn sim_time_display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(SimTime::ZERO.to_string(), "0.000000s");
+    }
+}

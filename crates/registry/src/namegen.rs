@@ -1,0 +1,161 @@
+//! Deterministic synthetic domain-name generation.
+//!
+//! Populating a scaled-down `.ru`/`.рф` registry requires tens of thousands
+//! of distinct, plausible second-level names. The generator composes
+//! transliterated-Russian-flavoured syllables, guarantees uniqueness via an
+//! internal counter suffix when a collision would occur, and is fully
+//! deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ruwhere_types::{DomainName, SeedTree};
+use std::collections::HashSet;
+
+const ONSETS: &[&str] = &[
+    "b", "v", "g", "d", "zh", "z", "k", "l", "m", "n", "p", "r", "s", "t", "f", "kh", "ts", "ch",
+    "sh", "st", "pr", "kr", "tr", "vl", "gr", "sl", "dr", "br",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "y", "ya", "yu", "ia"];
+const SUFFIXES: &[&str] = &[
+    "ov", "ev", "in", "sky", "stroy", "torg", "prom", "grad", "service", "market", "bank",
+    "media", "group", "trans", "tech", "invest", "snab", "mash", "les", "gaz",
+];
+
+/// Cyrillic syllables for `.рф` names (converted to punycode by
+/// [`DomainName::parse`]).
+const CYR_SYLLABLES: &[&str] = &[
+    "ра", "ко", "ми", "ло", "не", "ва", "до", "си", "те", "бу", "га", "зо", "ле", "ны", "пра",
+    "сто", "мир", "дом", "град",
+];
+
+/// Deterministic generator of unique registrable names.
+pub struct NameGenerator {
+    rng: StdRng,
+    seen: HashSet<DomainName>,
+    counter: u64,
+}
+
+impl NameGenerator {
+    /// New generator; all output derives from `seed`.
+    pub fn new(seed: SeedTree) -> Self {
+        NameGenerator {
+            rng: seed.child("namegen").rng(),
+            seen: HashSet::new(),
+            counter: 0,
+        }
+    }
+
+    fn ascii_sld(&mut self) -> String {
+        let syllables = self.rng.random_range(2..=3);
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push_str(ONSETS[self.rng.random_range(0..ONSETS.len())]);
+            s.push_str(VOWELS[self.rng.random_range(0..VOWELS.len())]);
+        }
+        if self.rng.random_bool(0.6) {
+            s.push_str(SUFFIXES[self.rng.random_range(0..SUFFIXES.len())]);
+        }
+        s
+    }
+
+    fn cyrillic_sld(&mut self) -> String {
+        let syllables = self.rng.random_range(2..=4);
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push_str(CYR_SYLLABLES[self.rng.random_range(0..CYR_SYLLABLES.len())]);
+        }
+        s
+    }
+
+    /// Generate one unique name under `tld` (`"ru"` or `"рф"`).
+    ///
+    /// Uniqueness is global across the generator's lifetime, so a single
+    /// generator can feed both registries and the churn process.
+    pub fn generate(&mut self, tld: &str) -> DomainName {
+        let cyrillic = tld == "рф" || tld == "xn--p1ai";
+        loop {
+            let sld = if cyrillic {
+                self.cyrillic_sld()
+            } else {
+                self.ascii_sld()
+            };
+            let candidate = format!("{sld}.{tld}");
+            let name = match DomainName::parse(&candidate) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if self.seen.insert(name.clone()) {
+                return name;
+            }
+            // Collision: disambiguate with a counter, never spin forever.
+            self.counter += 1;
+            let candidate = format!("{sld}{}.{tld}", self.counter);
+            if let Ok(name) = DomainName::parse(&candidate) {
+                if self.seen.insert(name.clone()) {
+                    return name;
+                }
+            }
+        }
+    }
+
+    /// Generate `n` unique names under `tld`.
+    pub fn generate_many(&mut self, tld: &str, n: usize) -> Vec<DomainName> {
+        (0..n).map(|_| self.generate(tld)).collect()
+    }
+
+    /// Mark an externally chosen name as taken so the generator never
+    /// produces it.
+    pub fn reserve(&mut self, name: DomainName) {
+        self.seen.insert(name);
+    }
+
+    /// How many unique names have been produced or reserved.
+    pub fn issued(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_at_scale() {
+        let mut g = NameGenerator::new(SeedTree::new(42));
+        let names = g.generate_many("ru", 20_000);
+        let set: HashSet<&DomainName> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        assert!(names.iter().all(|n| n.tld() == "ru"));
+        assert!(names.iter().all(|n| n.label_count() == 2));
+    }
+
+    #[test]
+    fn cyrillic_names_are_punycoded() {
+        let mut g = NameGenerator::new(SeedTree::new(42));
+        let names = g.generate_many("рф", 500);
+        assert!(names.iter().all(|n| n.tld() == "xn--p1ai"));
+        assert!(names.iter().all(|n| n.as_str().starts_with("xn--")));
+        assert!(names.iter().all(|n| n.is_russian_cctld()));
+        let set: HashSet<&DomainName> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NameGenerator::new(SeedTree::new(7)).generate_many("ru", 100);
+        let b = NameGenerator::new(SeedTree::new(7)).generate_many("ru", 100);
+        assert_eq!(a, b);
+        let c = NameGenerator::new(SeedTree::new(8)).generate_many("ru", 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reserve_blocks_reuse() {
+        let mut g = NameGenerator::new(SeedTree::new(7));
+        let first = NameGenerator::new(SeedTree::new(7)).generate("ru");
+        g.reserve(first.clone());
+        let next = g.generate("ru");
+        assert_ne!(next, first);
+        assert_eq!(g.issued(), 2);
+    }
+}

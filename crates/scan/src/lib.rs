@@ -1,0 +1,27 @@
+//! Measurement systems: the data-acquisition half of the paper.
+//!
+//! * [`openintel`] — the OpenINTEL-style pipeline (paper §2): seed a daily
+//!   sweep from the `.ru`/`.рф` zone snapshots, actively resolve each
+//!   domain's NS set, apex A records and name-server addresses through the
+//!   simulated Internet, and annotate every address with contemporaneous
+//!   geolocation (IP2Location stand-in) and origin AS.
+//! * [`censys`] — the Censys-style pipeline (§4): index CT logs for
+//!   certificates matching `.ru`/`.рф` names (CN or SAN, footnote 6), and
+//!   run IP-wide TLS banner scans that capture the chains servers actually
+//!   present — the only way to see the unlogged Russian Trusted Root CA.
+//!
+//! Both scanners observe the world exclusively through the network and
+//! public datasets; neither reads simulation ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod censys;
+pub mod openintel;
+pub mod whois;
+pub mod xfr;
+
+pub use censys::{CertDataset, CertRecord, IpScanSnapshot, IpScanner, MatchRule};
+pub use openintel::{AddrInfo, DailySweep, DomainDay, OpenIntelScanner, SweepStats};
+pub use whois::{ArrivalClassification, WhoisClient};
+pub use xfr::{XfrError, ZoneTransferClient};

@@ -1,0 +1,130 @@
+//! WHOIS client: confirm registration dates over the wire.
+//!
+//! §3.4 of the paper cross-checks arrivals at Amazon against "Cisco's
+//! Whois Domain API" to separate *newly registered* names from existing
+//! names that relocated. This client speaks the registry's port-43
+//! protocol through the simulated network and classifies arrival lists
+//! the same way.
+
+use ruwhere_registry::whois::{parse, WhoisRecord};
+use ruwhere_types::{Date, DomainName};
+use ruwhere_world::World;
+use serde::{Deserialize, Serialize};
+
+/// Arrival classification result (the paper's footnote-10 analysis).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalClassification {
+    /// Registered after the comparison date: genuinely new names.
+    pub newly_registered: Vec<DomainName>,
+    /// Registered before it: existing names that relocated in.
+    pub preexisting: Vec<DomainName>,
+    /// WHOIS gave no answer (lapsed between sweeps, or lookup failure).
+    pub unknown: Vec<DomainName>,
+}
+
+/// A WHOIS client homed at the measurement vantage.
+pub struct WhoisClient {
+    src: std::net::Ipv4Addr,
+}
+
+impl WhoisClient {
+    /// New client for `world`'s scanner vantage.
+    pub fn new(world: &World) -> Self {
+        WhoisClient {
+            src: world.scanner_ip(),
+        }
+    }
+
+    /// Look up one domain.
+    pub fn lookup(&self, world: &mut World, domain: &DomainName) -> Option<WhoisRecord> {
+        let server = world.whois_server();
+        let query = format!("{}\r\n", domain.as_str());
+        let reply = world
+            .network_mut()
+            .request(self.src, server, query.as_bytes(), 2_000_000, 2)
+            .ok()?;
+        parse(&String::from_utf8(reply).ok()?)
+    }
+
+    /// Classify `arrivals` by whether WHOIS shows them registered strictly
+    /// after `existed_before` (newly registered) or on/before it
+    /// (preexisting, i.e. relocated in).
+    pub fn classify_arrivals(
+        &self,
+        world: &mut World,
+        arrivals: &[DomainName],
+        existed_before: Date,
+    ) -> ArrivalClassification {
+        let mut out = ArrivalClassification::default();
+        for domain in arrivals {
+            match self.lookup(world, domain) {
+                Some(rec) if rec.created > existed_before => {
+                    out.newly_registered.push(domain.clone())
+                }
+                Some(_) => out.preexisting.push(domain.clone()),
+                None => out.unknown.push(domain.clone()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruwhere_world::WorldConfig;
+
+    #[test]
+    fn lookup_matches_registry_facts() {
+        let mut world = World::new(WorldConfig::tiny());
+        world.publish_tld_zones();
+        let client = WhoisClient::new(&world);
+
+        let name = world.seed_names()[0].clone();
+        let truth_created = world.domain_state(&name).map(|s| s.registered);
+        let rec = client.lookup(&mut world, &name).expect("whois answers");
+        assert_eq!(rec.domain, name);
+        if let Some(created) = truth_created {
+            assert_eq!(rec.created, created);
+        }
+        assert!(!rec.nservers.is_empty(), "delegated domains list NS");
+
+        // Unregistered name.
+        let missing: DomainName = "definitely-not-registered-xyz.ru".parse().unwrap();
+        assert!(client.lookup(&mut world, &missing).is_none());
+    }
+
+    #[test]
+    fn classify_arrivals_by_creation_date() {
+        let mut world = World::new(WorldConfig::tiny());
+        // Advance so churn registers some new names after the start.
+        let t0 = world.today();
+        world.advance_to(t0.add_days(45));
+        world.publish_tld_zones();
+        let client = WhoisClient::new(&world);
+
+        // Find one old and (if churn produced one) one new domain.
+        let seeds = world.seed_names();
+        let old: Vec<DomainName> = seeds
+            .iter()
+            .filter(|d| world.domain_state(d).is_some_and(|s| s.registered <= t0))
+            .take(3)
+            .cloned()
+            .collect();
+        let new: Vec<DomainName> = seeds
+            .iter()
+            .filter(|d| world.domain_state(d).is_some_and(|s| s.registered > t0))
+            .take(3)
+            .cloned()
+            .collect();
+        assert!(!old.is_empty());
+
+        let mut arrivals = old.clone();
+        arrivals.extend(new.clone());
+        arrivals.push("gone-away-domain.ru".parse().unwrap());
+        let classified = client.classify_arrivals(&mut world, &arrivals, t0);
+        assert_eq!(classified.preexisting, old);
+        assert_eq!(classified.newly_registered, new);
+        assert_eq!(classified.unknown.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Punycode (RFC 3492) and minimal IDNA label conversion.
+//!
+//! The paper studies two ccTLDs: `.ru` and `.рф`. The latter is an
+//! internationalized TLD whose ASCII (wire) form is `xn--p1ai`. Zone files,
+//! DNS messages and certificate SANs all carry the ASCII form, while
+//! human-facing output uses the Cyrillic form, so both directions are
+//! exercised throughout the pipeline.
+//!
+//! This is a from-scratch implementation of the RFC 3492 bootstring
+//! algorithm with the standard IDNA parameters. It handles lowercase
+//! conversion only (sufficient for DNS labels, which we normalize to
+//! lowercase before encoding).
+
+/// IDNA prefix marking a punycode-encoded label.
+pub const ACE_PREFIX: &str = "xn--";
+
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 128;
+const DELIMITER: char = '-';
+
+/// Errors from punycode conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PunycodeError {
+    /// Arithmetic overflow while decoding (malformed or hostile input).
+    Overflow,
+    /// Invalid basic (ASCII) code point or digit in the input.
+    InvalidInput,
+}
+
+impl std::fmt::Display for PunycodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PunycodeError::Overflow => write!(f, "punycode overflow"),
+            PunycodeError::InvalidInput => write!(f, "invalid punycode input"),
+        }
+    }
+}
+
+impl std::error::Error for PunycodeError {}
+
+fn adapt(mut delta: u32, num_points: u32, first_time: bool) -> u32 {
+    delta /= if first_time { DAMP } else { 2 };
+    delta += delta / num_points;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+fn encode_digit(d: u32) -> char {
+    // 0..25 -> 'a'..'z', 26..35 -> '0'..'9'
+    match d {
+        0..=25 => (b'a' + d as u8) as char,
+        26..=35 => (b'0' + (d - 26) as u8) as char,
+        _ => unreachable!("digit out of range"),
+    }
+}
+
+fn decode_digit(c: char) -> Option<u32> {
+    match c {
+        'a'..='z' => Some(c as u32 - 'a' as u32),
+        'A'..='Z' => Some(c as u32 - 'A' as u32),
+        '0'..='9' => Some(c as u32 - '0' as u32 + 26),
+        _ => None,
+    }
+}
+
+/// Encode a Unicode label to its punycode form (without the `xn--` prefix).
+///
+/// ```
+/// use ruwhere_types::punycode::encode;
+/// assert_eq!(encode("рф").unwrap(), "p1ai");
+/// ```
+pub fn encode(input: &str) -> Result<String, PunycodeError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut output: String = chars.iter().filter(|c| c.is_ascii()).collect();
+    let basic_len = output.len() as u32;
+    let mut handled = basic_len;
+    if basic_len > 0 {
+        output.push(DELIMITER);
+    }
+
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let total = chars.len() as u32;
+
+    while handled < total {
+        let m = chars
+            .iter()
+            .map(|&c| c as u32)
+            .filter(|&c| c >= n)
+            .min()
+            .expect("non-ASCII chars remain");
+        delta = delta
+            .checked_add(
+                (m - n)
+                    .checked_mul(handled + 1)
+                    .ok_or(PunycodeError::Overflow)?,
+            )
+            .ok_or(PunycodeError::Overflow)?;
+        n = m;
+        for &c in &chars {
+            let c = c as u32;
+            if c < n {
+                delta = delta.checked_add(1).ok_or(PunycodeError::Overflow)?;
+            }
+            if c == n {
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(encode_digit(t + (q - t) % (BASE - t)));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(encode_digit(q));
+                bias = adapt(delta, handled + 1, handled == basic_len);
+                delta = 0;
+                handled += 1;
+            }
+        }
+        delta = delta.checked_add(1).ok_or(PunycodeError::Overflow)?;
+        n = n.checked_add(1).ok_or(PunycodeError::Overflow)?;
+    }
+
+    Ok(output)
+}
+
+/// Decode a punycode label (without the `xn--` prefix) back to Unicode.
+///
+/// ```
+/// use ruwhere_types::punycode::decode;
+/// assert_eq!(decode("p1ai").unwrap(), "рф");
+/// ```
+pub fn decode(input: &str) -> Result<String, PunycodeError> {
+    let (mut output, extended): (Vec<char>, &str) = match input.rfind(DELIMITER) {
+        Some(pos) => {
+            let (basic, ext) = input.split_at(pos);
+            if !basic.is_ascii() {
+                return Err(PunycodeError::InvalidInput);
+            }
+            (basic.chars().collect(), &ext[1..])
+        }
+        None => (Vec::new(), input),
+    };
+
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let mut it = extended.chars();
+
+    while it.as_str() != "" {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            let c = it.next().ok_or(PunycodeError::InvalidInput)?;
+            let digit = decode_digit(c).ok_or(PunycodeError::InvalidInput)?;
+            i = i
+                .checked_add(digit.checked_mul(w).ok_or(PunycodeError::Overflow)?)
+                .ok_or(PunycodeError::Overflow)?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w
+                .checked_mul(BASE - t)
+                .ok_or(PunycodeError::Overflow)?;
+            k += BASE;
+        }
+        let len = output.len() as u32 + 1;
+        bias = adapt(i - old_i, len, old_i == 0);
+        n = n
+            .checked_add(i / len)
+            .ok_or(PunycodeError::Overflow)?;
+        i %= len;
+        let ch = char::from_u32(n).ok_or(PunycodeError::InvalidInput)?;
+        if ch.is_ascii() {
+            // Basic code points may not be produced by the extended part.
+            return Err(PunycodeError::InvalidInput);
+        }
+        output.insert(i as usize, ch);
+        i += 1;
+    }
+
+    Ok(output.into_iter().collect())
+}
+
+/// Convert a single DNS label to its ASCII (wire) form: non-ASCII labels are
+/// punycode-encoded and prefixed with `xn--`; ASCII labels pass through.
+pub fn label_to_ascii(label: &str) -> Result<String, PunycodeError> {
+    if label.is_ascii() {
+        Ok(label.to_ascii_lowercase())
+    } else {
+        Ok(format!("{}{}", ACE_PREFIX, encode(&label.to_lowercase())?))
+    }
+}
+
+/// Convert a single DNS label to its Unicode (display) form: `xn--` labels
+/// are punycode-decoded; anything else passes through.
+pub fn label_to_unicode(label: &str) -> Result<String, PunycodeError> {
+    match label.strip_prefix(ACE_PREFIX) {
+        Some(rest) => decode(rest),
+        None => Ok(label.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_tld() {
+        // The headline case for this paper: .рф is xn--p1ai on the wire.
+        assert_eq!(encode("рф").unwrap(), "p1ai");
+        assert_eq!(decode("p1ai").unwrap(), "рф");
+        assert_eq!(label_to_ascii("рф").unwrap(), "xn--p1ai");
+        assert_eq!(label_to_unicode("xn--p1ai").unwrap(), "рф");
+    }
+
+    #[test]
+    fn rfc3492_samples() {
+        // Selected official RFC 3492 section 7.1 sample strings.
+        // (L) Why can't they just speak in Japanese?
+        assert_eq!(
+            encode("президент").unwrap(),
+            "d1abbgf6aiiy"
+        );
+        assert_eq!(decode("d1abbgf6aiiy").unwrap(), "президент");
+        // Mixed ASCII + non-ASCII.
+        assert_eq!(encode("bücher").unwrap(), "bcher-kva");
+        assert_eq!(decode("bcher-kva").unwrap(), "bücher");
+    }
+
+    #[test]
+    fn ascii_passthrough() {
+        assert_eq!(label_to_ascii("Example").unwrap(), "example");
+        assert_eq!(label_to_unicode("example").unwrap(), "example");
+        // An ASCII-only label still encodes (trailing delimiter form).
+        assert_eq!(encode("abc").unwrap(), "abc-");
+        assert_eq!(decode("abc-").unwrap(), "abc");
+    }
+
+    #[test]
+    fn empty_label() {
+        assert_eq!(encode("").unwrap(), "");
+        assert_eq!(decode("").unwrap(), "");
+    }
+
+    #[test]
+    fn invalid_decodes() {
+        assert!(decode("p1ai!").is_err());
+        // Extended part decoding to an ASCII char is invalid.
+        assert!(decode("-").is_ok()); // lone delimiter: empty basic + empty ext
+        assert!(decode("99999999999999999999").is_err()); // overflow
+    }
+
+    #[test]
+    fn realistic_russian_slds() {
+        for (uni, puny) in [
+            ("пример", "xn--e1afmkfd"),
+            ("россия", "xn--h1alffa9f"),
+        ] {
+            assert_eq!(label_to_ascii(uni).unwrap(), puny);
+            assert_eq!(label_to_unicode(puny).unwrap(), uni);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Integration tests: build a tiny world, evolve it across the conflict
+//! window, and observe it through the network the way a scanner would.
+
+use ruwhere_authdns::IterativeResolver;
+use ruwhere_dns::{Name, RType};
+use ruwhere_types::{Date, DomainName};
+use ruwhere_world::{ConflictEvent, DnsPlan, World, WorldConfig};
+
+fn tiny_world() -> World {
+    World::new(WorldConfig::tiny())
+}
+
+#[test]
+fn world_builds_with_expected_population() {
+    let w = tiny_world();
+    let cfg = w.config().clone();
+    // population = initial + parking portfolio (~0.3%) + sanctioned overlay
+    let portfolio = (cfg.initial_population as f64 * 0.003).ceil() as usize;
+    assert_eq!(
+        w.population(),
+        cfg.initial_population + portfolio + cfg.sanctioned_count
+    );
+    assert_eq!(w.sanctions().len(), cfg.sanctioned_count);
+    assert_eq!(w.today(), cfg.start);
+    // Both registries populated; .рф a minority.
+    let ru = w.registries()[0].count();
+    let rf = w.registries()[1].count();
+    assert!(ru > rf, "ru={ru} rf={rf}");
+    assert!(rf > 0);
+}
+
+#[test]
+fn seed_names_are_sorted_and_complete() {
+    let w = tiny_world();
+    let seeds = w.seed_names();
+    let mut sorted = seeds.clone();
+    sorted.sort();
+    assert_eq!(seeds, sorted);
+    // Seeds include the sanctioned domains and infra domains like reg.ru.
+    assert!(seeds.iter().any(|d| d.as_str().starts_with("sanctioned-entity-")));
+    assert!(seeds.iter().any(|d| d.as_str() == "reg.ru"));
+}
+
+#[test]
+fn end_to_end_resolution_through_simulated_internet() {
+    let mut w = tiny_world();
+    w.publish_tld_zones();
+    let mut resolver = IterativeResolver::new(w.scanner_ip(), w.root_hints());
+
+    // Pick an ordinary managed-plan domain from ground truth.
+    let seeds = w.seed_names();
+    let target: DomainName = seeds
+        .iter()
+        .find(|d| {
+            w.domain_state(d)
+                .is_some_and(|s| matches!(s.dns, DnsPlan::Managed(_)))
+        })
+        .expect("some managed domain exists")
+        .clone();
+    let truth_ip = w.domain_state(&target).unwrap().hosting.primary_ip;
+
+    let qname = Name::from(&target);
+    let res = resolver
+        .resolve(w.network_mut(), &qname, RType::A)
+        .expect("resolution should succeed");
+    assert_eq!(res.addresses(), vec![truth_ip]);
+
+    // NS resolution returns the plan's name servers.
+    let res = resolver
+        .resolve(w.network_mut(), &qname, RType::Ns)
+        .expect("NS resolution should succeed");
+    assert!(!res.ns_targets().is_empty());
+
+    // And the NS hosts' addresses resolve too.
+    for ns in res.ns_targets() {
+        let a = resolver
+            .resolve(w.network_mut(), &ns, RType::A)
+            .unwrap_or_else(|e| panic!("NS host {ns} failed: {e:?}"));
+        assert!(!a.addresses().is_empty(), "no address for NS host {ns}");
+    }
+}
+
+#[test]
+fn vanity_dns_domains_resolve() {
+    let mut w = tiny_world();
+    w.publish_tld_zones();
+    let seeds = w.seed_names();
+    let vanity: Vec<DomainName> = seeds
+        .iter()
+        .filter(|d| {
+            w.domain_state(d).is_some_and(|s| {
+                matches!(s.dns, DnsPlan::VanityOwn | DnsPlan::VanityExotic(_))
+            })
+        })
+        .cloned()
+        .collect();
+    assert!(!vanity.is_empty(), "tiny world should have vanity-NS domains");
+    let mut resolver = IterativeResolver::new(w.scanner_ip(), w.root_hints());
+    let mut resolved = 0;
+    for d in vanity.iter().take(5) {
+        let truth_ip = w.domain_state(d).unwrap().hosting.primary_ip;
+        let res = resolver.resolve(w.network_mut(), &Name::from(d), RType::A);
+        if let Ok(r) = res {
+            assert_eq!(r.addresses(), vec![truth_ip], "wrong address for {d}");
+            resolved += 1;
+        }
+    }
+    assert!(resolved > 0, "no vanity domain resolved");
+}
+
+#[test]
+fn netnod_event_rehomes_cloud_hosts() {
+    let mut w = tiny_world();
+    let netnod_date = w
+        .timeline()
+        .date_of(ConflictEvent::NetnodRehoming)
+        .unwrap();
+
+    // Resolve ns4-cloud.nic.ru before and after the event.
+    w.publish_tld_zones();
+    let mut resolver = IterativeResolver::new(w.scanner_ip(), w.root_hints());
+    let host: Name = "ns4-cloud.nic.ru".parse().unwrap();
+    let before = resolver
+        .resolve(w.network_mut(), &host, RType::A)
+        .expect("pre-event resolution")
+        .addresses();
+    assert_eq!(before.len(), 1);
+    let cc_before = w.geo().lookup(w.today(), before[0]).unwrap();
+    assert_eq!(cc_before.code(), "SE", "cloud host starts at Netnod (Sweden)");
+
+    w.advance_to(netnod_date);
+    w.publish_tld_zones();
+    resolver.clear_cache();
+    let after = resolver
+        .resolve(w.network_mut(), &host, RType::A)
+        .expect("post-event resolution")
+        .addresses();
+    assert_eq!(after.len(), 1);
+    assert_ne!(after[0], before[0], "IP must change");
+    let cc_after = w.geo().lookup(w.today(), after[0]).unwrap();
+    assert_eq!(cc_after.code(), "RU", "cloud host re-homed to Russia");
+}
+
+#[test]
+fn certificates_flow_into_ct_log_and_endpoints() {
+    let mut w = tiny_world();
+    w.advance_to(Date::from_ymd(2022, 2, 1));
+    assert!(w.ct_log().size() > 0, "CT log should have entries by February");
+
+    // Russian CA issuance never reaches CT.
+    let russian = w
+        .ct_log()
+        .entries()
+        .iter()
+        .filter(|e| e.cert.issuer.organization == "Russian Trusted Root CA")
+        .count();
+    assert_eq!(russian, 0);
+
+    // Every CT entry matches a Russian TLD (our generator's SAN rule).
+    assert!(w
+        .ct_log()
+        .entries()
+        .iter()
+        .all(|e| e.cert.matches_russian_tld()));
+}
+
+#[test]
+fn ca_stops_are_enforced() {
+    let mut w = tiny_world();
+    w.advance_to(Date::from_ymd(2022, 4, 30));
+    // DigiCert's last regular (non-leak) issuance must precede its stop
+    // date; Let's Encrypt keeps issuing.
+    let mut last_digicert_regular = None;
+    let mut last_le = None;
+    for e in w.ct_log().entries() {
+        if e.cert.issuer.organization == "Let's Encrypt" {
+            last_le = Some(e.timestamp);
+        }
+        if e.cert.issuer.organization == "DigiCert"
+            && e.cert.issuer.common_name.starts_with("DigiCert")
+        {
+            last_digicert_regular = Some(e.timestamp);
+        }
+    }
+    let stop = Date::from_ymd(2022, 2, 26);
+    if let Some(d) = last_digicert_regular {
+        assert!(d < stop, "DigiCert primary brand issued at {d} after stop");
+    }
+    assert!(last_le.unwrap() > Date::from_ymd(2022, 4, 15));
+}
+
+#[test]
+fn sanctioned_revocation_sweeps_happen() {
+    let mut w = tiny_world();
+    w.advance_to(Date::from_ymd(2022, 4, 1));
+    w.finalize_ocsp();
+    let end = Date::from_ymd(2022, 4, 1);
+
+    // Every sanctioned DigiCert/Sectigo certificate is revoked.
+    for org in ["DigiCert", "Sectigo"] {
+        let issued: Vec<u64> = w
+            .issued_certificates()
+            .filter(|(ca, _, _, sanctioned)| {
+                *sanctioned && w.ca_specs()[ca.0 as usize].org == org
+            })
+            .map(|(_, serial, _, _)| serial)
+            .collect();
+        let crl = w.ocsp().crl(org);
+        for s in &issued {
+            assert!(
+                crl.is_some_and(|c| c.is_revoked(*s, end)),
+                "{org} serial {s} not revoked"
+            );
+        }
+    }
+}
+
+#[test]
+fn russian_ca_certs_are_served_but_not_logged() {
+    let mut w = tiny_world();
+    w.advance_to(Date::from_ymd(2022, 5, 1));
+    let russian_issued: Vec<_> = w
+        .issued_certificates()
+        .filter(|(ca, _, _, _)| w.ca_specs()[ca.0 as usize].org == "Russian Trusted Root CA")
+        .map(|(_, s, d, sanc)| (s, d.clone(), sanc))
+        .collect();
+    assert!(
+        !russian_issued.is_empty(),
+        "Russian CA should have issued by May"
+    );
+    assert!(
+        russian_issued.iter().any(|(_, _, sanc)| *sanc),
+        "some Russian CA certs secure sanctioned domains"
+    );
+    // None in CT.
+    assert_eq!(
+        w.ct_log()
+            .entries()
+            .iter()
+            .filter(|e| e.cert.issuer.organization == "Russian Trusted Root CA")
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn population_evolves_and_stays_consistent() {
+    let mut w = tiny_world();
+    let p0 = w.population();
+    w.advance_to(Date::from_ymd(2022, 3, 15));
+    let p1 = w.population();
+    // Growth plus churn keeps population in a sane band.
+    assert!(p1 > p0 / 2 && p1 < p0 * 2, "population went wild: {p0} → {p1}");
+    // Registry and domain map agree.
+    let reg_total: usize = w.registries().iter().map(|r| r.count()).sum();
+    // Registries also hold infra domains (reg.ru, nic.ru, …).
+    assert!(reg_total >= w.population());
+    assert!(reg_total <= w.population() + 64);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let build = || {
+        let mut w = World::new(WorldConfig::tiny());
+        w.advance_to(Date::from_ymd(2022, 3, 10));
+        (
+            w.population(),
+            w.ct_log().size(),
+            w.ct_log().sth().root,
+            w.seed_names().len(),
+        )
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn google_intra_move_shifts_hosting() {
+    let mut w = tiny_world();
+    let date = w.timeline().date_of(ConflictEvent::GoogleIntraMove).unwrap();
+    let count_at = |w: &World, pid: ruwhere_world::catalog::ProviderId| {
+        w.seed_names()
+            .iter()
+            .filter(|d| w.domain_state(d).is_some_and(|s| s.hosting.primary == pid))
+            .count()
+    };
+    w.advance_to(date.pred());
+    let google_before = count_at(&w, ruwhere_world::catalog::pid::GOOGLE);
+    w.advance_to(date);
+    let moved = count_at(&w, ruwhere_world::catalog::pid::GOOGLE_CLOUD);
+    // At tiny scale Google may have no customers at all; when it does,
+    // the 2022-03-16 event must shift some of them to AS396982.
+    if google_before > 0 {
+        assert!(moved > 0, "no domains moved to Google-Cloud");
+    }
+}
+
+#[test]
+fn invariants_hold_after_build_and_evolution() {
+    let mut w = tiny_world();
+    let problems = w.check_invariants();
+    assert!(problems.is_empty(), "after build: {problems:?}");
+    w.advance_to(Date::from_ymd(2022, 4, 15));
+    let problems = w.check_invariants();
+    assert!(problems.is_empty(), "after evolution: {problems:?}");
+}

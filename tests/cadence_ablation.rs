@@ -1,0 +1,83 @@
+//! Sweep-cadence ablation: daily sweeps pin the Netnod transition to its
+//! exact day; weekly sweeps can only bracket it. Also exercises the
+//! measurement-outage model (Figure 1's 2021-03-22 dip, footnote 8).
+
+use ruwhere::prelude::*;
+
+#[test]
+fn daily_cadence_pins_the_netnod_day() {
+    let mut world = WorldConfig::tiny();
+    world.end = Date::from_ymd(2022, 3, 8);
+    let mut cfg = StudyConfig::paper_schedule(world);
+    cfg.daily_from = Date::from_ymd(2022, 2, 26);
+    let r = run_study(&cfg);
+
+    // With daily sweeps the partial share is flat through 03-02 and drops
+    // on 03-03 exactly.
+    let p = |d: Date| r.ns_composition.at(d).unwrap().pct_partial();
+    let before = p(Date::from_ymd(2022, 3, 2));
+    let event = p(Date::from_ymd(2022, 3, 3));
+    assert!(
+        before - event > 0.8,
+        "transition must land on 2022-03-03: {before:.2}% → {event:.2}%"
+    );
+    // And 03-01 ≈ 03-02 (no early drift).
+    let earlier = p(Date::from_ymd(2022, 3, 1));
+    assert!((earlier - before).abs() < 0.8);
+}
+
+#[test]
+fn weekly_cadence_only_brackets_the_event() {
+    let mut world = WorldConfig::tiny();
+    world.end = Date::from_ymd(2022, 3, 20);
+    let mut cfg = StudyConfig::paper_schedule(world);
+    // Weekly throughout: 01-01, 01-08, …, 02-26, 03-05, 03-12, 03-19.
+    cfg.daily_from = Date::from_ymd(2022, 3, 21);
+    let r = run_study(&cfg);
+
+    let dates: Vec<Date> = r.ns_composition.rows().map(|(d, _)| d).collect();
+    assert!(
+        !dates.contains(&Date::from_ymd(2022, 3, 3)),
+        "weekly schedule must not include the event day itself"
+    );
+    // The drop is only visible between the straddling sweeps.
+    let before = r
+        .ns_composition
+        .at(Date::from_ymd(2022, 2, 26))
+        .unwrap()
+        .pct_partial();
+    let after = r
+        .ns_composition
+        .at(Date::from_ymd(2022, 3, 5))
+        .unwrap()
+        .pct_partial();
+    assert!(
+        before - after > 0.8,
+        "the weekly series still shows the drop across the bracket: {before:.2}% → {after:.2}%"
+    );
+}
+
+#[test]
+fn outage_produces_the_figure1_dip() {
+    let mut world = WorldConfig::tiny();
+    world.end = Date::from_ymd(2022, 2, 1);
+    let start = world.start;
+    let mut cfg = StudyConfig::paper_schedule(world);
+    cfg.daily_from = start;
+    let outage = Date::from_ymd(2022, 1, 15);
+    cfg.outages = vec![outage];
+    let r = run_study(&cfg);
+
+    let total = |d: Date| r.ns_composition.at(d).unwrap().total();
+    let day_before = total(outage.pred());
+    let day_of = total(outage);
+    let day_after = total(outage.succ());
+    assert!(
+        day_of < day_before / 2,
+        "outage day must lose most records: {day_before} → {day_of}"
+    );
+    assert!(
+        day_after > day_before * 9 / 10,
+        "the dataset recovers the next day: {day_after} vs {day_before}"
+    );
+}

@@ -1,0 +1,261 @@
+//! Workspace integration: the full measurement-and-analysis pipeline at
+//! tiny scale, asserting the paper's qualitative findings end-to-end.
+//!
+//! Everything here flows through public APIs only: world → network →
+//! scanners → analyses → figures. No test reads simulation ground truth
+//! except to validate measurement fidelity explicitly.
+
+use ruwhere::prelude::*;
+use ruwhere_core::figures;
+
+use std::sync::OnceLock;
+
+/// One shared study (expensive to build) reused by every assertion.
+fn study() -> &'static StudyResults {
+    static STUDY: OnceLock<StudyResults> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::test_schedule();
+        cfg.daily_from = Date::from_ymd(2022, 2, 20);
+        run_study(&cfg)
+    })
+}
+
+#[test]
+fn finding_1_ns_composition_shifts_toward_full_russian() {
+    let r = study();
+    let ((_, first), (_, last)) = r.ns_composition.extrema().unwrap();
+    assert!(
+        last.pct_full() > first.pct_full() + 1.0,
+        "full-Russian NS must rise across the conflict: {:.1}% → {:.1}%",
+        first.pct_full(),
+        last.pct_full()
+    );
+    // But the change is modest — single digits, not a mass migration (§6).
+    assert!(
+        last.pct_full() - first.pct_full() < 15.0,
+        "change should be modest, got {:+.1} pts",
+        last.pct_full() - first.pct_full()
+    );
+}
+
+#[test]
+fn finding_2_netnod_event_is_a_step_change() {
+    let r = study();
+    let before = r.ns_composition.at(Date::from_ymd(2022, 3, 2)).unwrap();
+    let after = r.ns_composition.at(Date::from_ymd(2022, 3, 4)).unwrap();
+    assert!(
+        after.pct_partial() < before.pct_partial() - 0.5,
+        "partial must drop at the Netnod rehoming: {:.2}% → {:.2}%",
+        before.pct_partial(),
+        after.pct_partial()
+    );
+    assert!(after.pct_full() > before.pct_full());
+}
+
+#[test]
+fn finding_3_hosting_composition_is_stable_and_majority_russian() {
+    let r = study();
+    for (_, c) in r.hosting_composition.rows() {
+        assert!(
+            (60.0..85.0).contains(&c.pct_full()),
+            "hosting full% out of band: {:.1}",
+            c.pct_full()
+        );
+        assert!(c.pct_partial() < 3.0, "split hosting stays rare");
+    }
+}
+
+#[test]
+fn finding_4_sanctioned_domains_repatriate_dns() {
+    let r = study();
+    let feb24 = r.sanctioned_ns.at(Date::from_ymd(2022, 2, 24)).unwrap();
+    let mar4 = r.sanctioned_ns.at(Date::from_ymd(2022, 3, 4)).unwrap();
+    assert!(
+        feb24.pct_partial() > 20.0,
+        "substantial partial share pre-conflict, got {:.1}%",
+        feb24.pct_partial()
+    );
+    assert!(
+        mar4.pct_full() > 85.0,
+        "vast majority fully Russian by March 4, got {:.1}%",
+        mar4.pct_full()
+    );
+}
+
+#[test]
+fn finding_5_sedo_exodus_and_amazon_attrition() {
+    let r = study();
+    let end = *r.retained.keys().next_back().unwrap();
+    let start = Date::from_ymd(2022, 3, 8);
+
+    let (_, sedo) = figures::movement_table(r, Asn::SEDO, "t", start, end, "").unwrap();
+    let orig = sedo.original().max(1);
+    assert!(
+        sedo.remained() as f64 / orig as f64 <= 0.25,
+        "Sedo keeps almost nobody: {}/{}",
+        sedo.remained(),
+        orig
+    );
+
+    let (_, amazon) = figures::movement_table(r, Asn::AMAZON, "t", start, end, "").unwrap();
+    let orig = amazon.original().max(1);
+    let remained = amazon.remained() as f64 / orig as f64;
+    assert!(
+        (0.15..0.75).contains(&remained),
+        "Amazon keeps a large minority: {remained:.2}"
+    );
+    // Amazon loses proportionally fewer customers than Sedo.
+    assert!(
+        remained > sedo.remained() as f64 / sedo.original().max(1) as f64,
+        "Amazon must retain more than Sedo"
+    );
+}
+
+#[test]
+fn finding_6_serverel_absorbs_the_exodus() {
+    let r = study();
+    let end = *r.retained.keys().next_back().unwrap();
+    let (_, sedo) =
+        figures::movement_table(r, Asn::SEDO, "t", Date::from_ymd(2022, 3, 8), end, "").unwrap();
+    let dests = sedo.destinations();
+    let serverel = dests.get(&Asn::SERVEREL).copied().unwrap_or(0);
+    let max_dest = dests.values().copied().max().unwrap_or(0);
+    assert!(
+        serverel == max_dest && serverel > 0,
+        "Serverel must be the top destination, got {dests:?}"
+    );
+}
+
+#[test]
+fn finding_7_cloudflare_business_as_usual() {
+    let r = study();
+    let end = *r.retained.keys().next_back().unwrap();
+    let (_, cf) = figures::movement_table(
+        r,
+        Asn::CLOUDFLARE,
+        "t",
+        Date::from_ymd(2022, 3, 7),
+        end,
+        "",
+    )
+    .unwrap();
+    let orig = cf.original().max(1);
+    assert!(
+        cf.remained() as f64 / orig as f64 > 0.75,
+        "Cloudflare retains its base: {}/{}",
+        cf.remained(),
+        orig
+    );
+}
+
+#[test]
+fn finding_8_lets_encrypt_concentration() {
+    let r = study();
+    let table = r.issuance.period_table(3);
+    let pre = &table.periods[&Period::PreConflict];
+    let post = &table.periods[&Period::PostSanctions];
+    let le_pre = pre.0.iter().find(|x| x.org == "Let's Encrypt").unwrap().pct;
+    let le_post = post.0.iter().find(|x| x.org == "Let's Encrypt").unwrap().pct;
+    assert!(le_pre > 80.0, "LE dominates pre-conflict: {le_pre:.1}%");
+    assert!(
+        le_post > le_pre,
+        "the conflict concentrates issuance further: {le_pre:.1}% → {le_post:.1}%"
+    );
+}
+
+#[test]
+fn finding_9_issuance_volume_dips_mildly() {
+    let r = study();
+    let pre = r.issuance.daily_volume(
+        Date::from_ymd(2022, 1, 1),
+        Date::from_ymd(2022, 2, 23),
+    );
+    let post = r.issuance.daily_volume(
+        Date::from_ymd(2022, 3, 27),
+        Date::from_ymd(2022, 5, 15),
+    );
+    assert!(pre > 0.0);
+    let ratio = post / pre;
+    assert!(
+        (0.6..1.1).contains(&ratio),
+        "post/pre volume ratio should be ≈115/130, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn finding_10_sanctioned_revocation_rates_exceed_background() {
+    let r = study();
+    let mut saw_full_revoker = false;
+    for row in r.revocation.rows().values() {
+        if row.sanctioned_issued > 0 && row.sanctioned_issued == row.sanctioned_revoked {
+            saw_full_revoker = true;
+        }
+    }
+    assert!(
+        saw_full_revoker,
+        "at least one CA revokes 100% of sanctioned certificates (paper: DigiCert, Sectigo)"
+    );
+}
+
+#[test]
+fn finding_11_russian_ca_visible_only_to_scans() {
+    let r = study();
+    let a = r.russian_ca.as_ref().expect("final IP scan ran");
+    assert!(a.unique_certs > 0, "scans must see the Russian CA");
+    assert_eq!(a.in_ct, 0, "the Russian CA must not appear in CT");
+    assert!(
+        a.sanctioned_covered > 0,
+        "some sanctioned domains serve Russian CA certificates"
+    );
+    assert!(
+        a.russian_tld_domains() > 0,
+        "covered domains include .ru/.рф names"
+    );
+}
+
+#[test]
+fn measurement_agrees_with_paper_structure() {
+    let r = study();
+    // Dataset-scale invariants (§2): domains across two TLDs, multiple
+    // ASNs for hosting, NS TLD diversity.
+    assert!(r.asn_share.distinct_asns() > 10);
+    assert!(r.tld_usage.distinct_tlds() > 10);
+    let final_sweep = r.final_sweep().unwrap();
+    assert!(final_sweep.domains.iter().any(|d| d.domain.tld() == "ru"));
+    assert!(final_sweep.domains.iter().any(|d| d.domain.tld() == "xn--p1ai"));
+    // Resolution health.
+    let resolved = final_sweep.domains.iter().filter(|d| d.has_ns_data()).count();
+    assert!(resolved * 100 >= final_sweep.domains.len() * 90);
+}
+
+#[test]
+fn all_figures_render_from_one_study() {
+    let r = study();
+    // Smoke-render everything; panics/empties fail the test.
+    assert!(!figures::fig1_series(r).is_empty());
+    assert!(!figures::fig2_series(r).is_empty());
+    assert!(!figures::fig3_series(r).is_empty());
+    assert!(!figures::fig4_series(r).is_empty());
+    assert!(!figures::fig5_series(r).is_empty());
+    assert!(!figures::table1(r).is_empty());
+    assert!(!figures::table2(r).is_empty());
+    let (fig8, _) = figures::fig8_table(r);
+    assert!(fig8.len() >= 5, "fig8 lists the top CAs");
+    assert!(figures::russian_ca_table(r).is_some());
+}
+
+#[test]
+fn finding_12_netnod_is_the_peak_transition_day() {
+    use ruwhere_core::composition::Composition;
+    let r = study();
+    let (peak_date, n) = r
+        .transitions
+        .peak(Composition::Partial, Composition::Full)
+        .expect("partial→full transitions exist");
+    assert_eq!(
+        peak_date,
+        Date::from_ymd(2022, 3, 3),
+        "the largest partial→full day must be the Netnod rehoming"
+    );
+    assert!(n >= 3, "the spike must dominate: only {n} domains");
+}

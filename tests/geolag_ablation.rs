@@ -1,0 +1,80 @@
+//! The footnote-5 ablation: when the Netnod event is modeled as a prefix
+//! move instead of an IP reconfiguration, geolocation-based composition
+//! lags the ASN-based view until the next IP2Location snapshot.
+//!
+//! > "We note that there is a small percentage of disagreement in
+//! > country-level geolocation and inferences made regarding relocation
+//! > may 'lag behind', in particular when IP address (space) of hosting
+//! > or DNS infrastructure is moved rather than changed." — paper, fn. 5
+
+use ruwhere::prelude::*;
+use ruwhere_dns::{Name, RType};
+use ruwhere_world::ConflictEvent;
+
+fn world_with(prefix_move: bool) -> ruwhere_world::World {
+    let mut cfg = WorldConfig::tiny();
+    cfg.netnod_prefix_move = prefix_move;
+    // A long refresh interval makes the lag unmistakable.
+    cfg.geo_snapshot_interval_days = 28;
+    cfg.geo_snapshot_lag_days = 3;
+    World::new(cfg)
+}
+
+/// Resolve ns4-cloud.nic.ru and return (geo country, asn country proxy).
+fn observe(world: &mut ruwhere_world::World) -> (Option<Country>, Option<Asn>) {
+    world.publish_tld_zones();
+    let mut resolver =
+        ruwhere::authdns::IterativeResolver::new(world.scanner_ip(), world.root_hints());
+    let host: Name = "ns4-cloud.nic.ru".parse().unwrap();
+    let addrs = resolver
+        .resolve(world.network_mut(), &host, RType::A)
+        .expect("cloud host resolves")
+        .addresses();
+    assert_eq!(addrs.len(), 1);
+    let ip = addrs[0];
+    (
+        world.geo().lookup(world.today(), ip),
+        world.network().topology().asn_of(ip),
+    )
+}
+
+#[test]
+fn ip_reconfiguration_flips_geolocation_immediately() {
+    let mut w = world_with(false);
+    let event = w.timeline().date_of(ConflictEvent::NetnodRehoming).unwrap();
+    w.advance_to(event);
+    let (geo, _) = observe(&mut w);
+    assert_eq!(
+        geo.unwrap().code(),
+        "RU",
+        "new addresses geolocate correctly at once"
+    );
+}
+
+#[test]
+fn prefix_move_lags_until_next_geo_snapshot() {
+    let mut w = world_with(true);
+    let event = w.timeline().date_of(ConflictEvent::NetnodRehoming).unwrap();
+    w.advance_to(event);
+
+    // Immediately after the event: BGP (ASN) sees RU-CENTER, but the
+    // geolocation snapshot still says Sweden — the measurement artifact.
+    let (geo, asn) = observe(&mut w);
+    assert_eq!(asn.unwrap(), Asn::RU_CENTER, "BGP view flips immediately");
+    assert_eq!(
+        geo.unwrap().code(),
+        "SE",
+        "geolocation still reports the pre-move country"
+    );
+
+    // After the next snapshot (interval 28d + lag 3d from study start),
+    // geolocation catches up.
+    w.advance_to(event.add_days(35));
+    let (geo, asn) = observe(&mut w);
+    assert_eq!(asn.unwrap(), Asn::RU_CENTER);
+    assert_eq!(
+        geo.unwrap().code(),
+        "RU",
+        "geolocation catches up at the next vendor refresh"
+    );
+}
