@@ -11,7 +11,11 @@
 //! * [`IterativeResolver`] — referral-chasing resolution from the root,
 //!   with glue use, out-of-bailiwick NS resolution, CNAME chasing and
 //!   loop/budget protection. This is the measurement client used by the
-//!   OpenINTEL-style sweep.
+//!   OpenINTEL-style sweep. It is hardened against misbehaving servers:
+//!   per-server health (smoothed RTT + exponential-backoff penalty box),
+//!   a per-resolution retry budget, and cause-specific failures
+//!   ([`resolver::ResolveError`]) with cumulative counters
+//!   ([`ResolverStats`]) for the measurement layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +23,7 @@
 pub mod resolver;
 pub mod server;
 
-pub use resolver::{IterativeResolver, Resolution, ResolveError, RootHint, TraceEvent};
+pub use resolver::{
+    IterativeResolver, Resolution, ResolveError, ResolverStats, RootHint, TraceEvent,
+};
 pub use server::{AuthServer, ServerBehavior, SharedZoneSet, ZoneSet};

@@ -1,7 +1,17 @@
 //! Iterative (referral-chasing) resolution, as a measurement client.
+//!
+//! Beyond the basic referral walk, the resolver is hardened against the
+//! server pathologies the fault-injection layer can produce (outages,
+//! flapping boxes, SERVFAIL backends, truncated replies, lame
+//! delegations): it keeps per-server health state — a smoothed RTT
+//! estimate and an exponential-backoff penalty box, in the style of
+//! unbound's infra cache — prefers healthy servers, caps the failures any
+//! single resolution may absorb, and reports *why* a name failed through
+//! distinct [`ResolveError`] variants so the measurement layer can count
+//! failure causes instead of lumping everything into "timeout".
 
 use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record};
-use ruwhere_netsim::Network;
+use ruwhere_netsim::{Network, SimTime};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -88,6 +98,21 @@ pub enum TraceEvent {
         /// The unresponsive server.
         server: Ipv4Addr,
     },
+    /// A server answered SERVFAIL.
+    ServFail {
+        /// The failing server.
+        server: Ipv4Addr,
+    },
+    /// A server gave a lame (non-authoritative, answerless) response.
+    Lame {
+        /// The lame server.
+        server: Ipv4Addr,
+    },
+    /// A server sent a truncated reply the client could not use.
+    Truncated {
+        /// The truncating server.
+        server: Ipv4Addr,
+    },
     /// A CNAME redirected resolution.
     Cname {
         /// The alias target.
@@ -100,15 +125,22 @@ pub enum TraceEvent {
     },
 }
 
-/// Resolution failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Resolution failures, by cause. The measurement pipeline keys its
+/// per-sweep failure counters off these variants, so Figure-1-style gap
+/// analyses can distinguish "the TLD was down" from "a backend broke".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResolveError {
     /// Every candidate server timed out.
     Timeout,
-    /// Servers answered but refused or failed.
+    /// Servers answered but returned SERVFAIL.
+    ServFail,
+    /// Servers answered but were lame for the zone (non-authoritative,
+    /// no answer, no referral).
+    Lame,
+    /// Servers answered but refused.
     Refused,
-    /// Query/recursion budget exhausted (lame delegation loop or too-deep
-    /// dependency chain).
+    /// Query/retry budget exhausted (flapping servers, lame delegation
+    /// loop, or a too-deep dependency chain).
     BudgetExhausted,
     /// A referral pointed at name servers whose addresses could not be
     /// resolved.
@@ -121,6 +153,8 @@ impl fmt::Display for ResolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResolveError::Timeout => write!(f, "all name servers timed out"),
+            ResolveError::ServFail => write!(f, "all name servers answered SERVFAIL"),
+            ResolveError::Lame => write!(f, "all name servers were lame for the zone"),
             ResolveError::Refused => write!(f, "all name servers refused"),
             ResolveError::BudgetExhausted => write!(f, "resolution budget exhausted"),
             ResolveError::NoNameservers => write!(f, "referral with unresolvable name servers"),
@@ -131,25 +165,102 @@ impl fmt::Display for ResolveError {
 
 impl std::error::Error for ResolveError {}
 
+/// Cumulative failure-cause counters, for measurement accounting.
+///
+/// Monotone over the resolver's lifetime; callers diff snapshots to get
+/// per-sweep numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries that timed out at the transport.
+    pub timeouts: u64,
+    /// Queries answered with SERVFAIL.
+    pub servfails: u64,
+    /// Queries answered lamely (non-authoritative, answerless).
+    pub lame: u64,
+    /// Queries answered with TC=1 (unusable over this transport).
+    pub truncated: u64,
+    /// Failed queries charged against retry budgets — the resolver-level
+    /// cost of server misbehaviour (each one is a wasted exchange).
+    pub retries_spent: u64,
+}
+
+/// Per-server health, unbound-infra-cache style: a smoothed RTT estimate
+/// and an exponentially growing penalty box for consecutive failures.
+#[derive(Debug, Clone, Copy)]
+struct ServerHealth {
+    /// Smoothed RTT in µs (EWMA, 1/8 gain). Starts at the optimistic
+    /// default so unprobed servers sort after known-fast ones.
+    srtt_us: u64,
+    /// Consecutive failures since the last success.
+    fails: u32,
+    /// Penalized (deprioritized) until this virtual instant.
+    penalized_until: SimTime,
+}
+
+/// Initial SRTT for never-probed servers (µs).
+const SRTT_DEFAULT_US: u64 = 120_000;
+/// First penalty-box duration; doubles per consecutive failure (µs).
+const PENALTY_BASE_US: u64 = 2_000_000;
+/// Cap on the penalty exponent (base << 5 = 64 s).
+const PENALTY_MAX_SHIFT: u32 = 5;
+
+impl Default for ServerHealth {
+    fn default() -> Self {
+        ServerHealth {
+            srtt_us: SRTT_DEFAULT_US,
+            fails: 0,
+            penalized_until: SimTime::ZERO,
+        }
+    }
+}
+
 /// An iterative resolver bound to a client address.
 ///
 /// Caches positive/negative answers and zone-cut server addresses for the
 /// lifetime of the cache (the scanner clears it at each daily sweep, so
 /// every day re-observes the infrastructure, like OpenINTEL's daily runs).
+/// Server *health* state survives [`clear_cache`](Self::clear_cache):
+/// like a real resolver's infra cache, it expires by (virtual) time, not
+/// by sweep boundary.
 pub struct IterativeResolver {
     client_ip: Ipv4Addr,
     roots: Vec<RootHint>,
     /// Max queries for one `resolve` call.
     pub query_budget: u32,
+    /// Max *failed* queries one `resolve` call may absorb before giving
+    /// up. Bounds the cost of walking a mostly-dead NS set.
+    pub retry_budget: u32,
     /// Per-query timeout in simulated microseconds.
     pub timeout_us: u64,
     /// Transport attempts per server.
     pub attempts: u32,
+    /// Whether per-server health ordering and the penalty box are active.
+    /// Disable to get the naive fixed-order resolver (for ablations: the
+    /// flapping-server experiment measures the queries this saves).
+    pub penalty_box_enabled: bool,
     next_id: u16,
     answer_cache: HashMap<(Name, RType), Result<Resolution, ResolveError>>,
     cut_cache: HashMap<Name, Vec<Ipv4Addr>>,
+    health: HashMap<Ipv4Addr, ServerHealth>,
     queries_sent: u64,
+    stats: ResolverStats,
     trace: Option<Vec<TraceEvent>>,
+}
+
+/// Classification of one query exchange.
+enum QueryOutcome {
+    /// A usable response (NoError or NXDOMAIN, not truncated, not lame).
+    Usable(Message),
+    /// Transport timeout.
+    Timeout,
+    /// SERVFAIL rcode.
+    ServFail,
+    /// REFUSED or other error rcode.
+    Refused,
+    /// TC=1: unusable over this transport.
+    Truncated,
+    /// NoError but non-authoritative with no answer and no referral.
+    Lame,
 }
 
 impl IterativeResolver {
@@ -159,12 +270,16 @@ impl IterativeResolver {
             client_ip,
             roots,
             query_budget: 64,
+            retry_budget: 8,
             timeout_us: 2_000_000,
             attempts: 2,
+            penalty_box_enabled: true,
             next_id: 1,
             answer_cache: HashMap::new(),
             cut_cache: HashMap::new(),
+            health: HashMap::new(),
             queries_sent: 0,
+            stats: ResolverStats::default(),
             trace: None,
         }
     }
@@ -193,10 +308,21 @@ impl IterativeResolver {
         self.queries_sent
     }
 
-    /// Drop all cached state (start of a new daily sweep).
+    /// Cumulative failure-cause counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Drop all cached answers and zone cuts (start of a new daily sweep).
+    /// Server health is kept: it expires by virtual time instead.
     pub fn clear_cache(&mut self) {
         self.answer_cache.clear();
         self.cut_cache.clear();
+    }
+
+    /// Drop per-server health state too (a cold-started resolver).
+    pub fn clear_health(&mut self) {
+        self.health.clear();
     }
 
     /// Resolve `name`/`rtype`, driving the simulated network.
@@ -207,7 +333,8 @@ impl IterativeResolver {
         rtype: RType,
     ) -> Result<Resolution, ResolveError> {
         let mut budget = self.query_budget;
-        let result = self.resolve_inner(net, name, rtype, &mut budget, 0);
+        let mut retries = self.retry_budget;
+        let result = self.resolve_inner(net, name, rtype, &mut budget, &mut retries, 0);
         let outcome = match &result {
             Ok(Resolution::Records(r)) => format!("answer ({} records)", r.len()),
             Ok(Resolution::NxDomain) => "NXDOMAIN".to_owned(),
@@ -224,6 +351,7 @@ impl IterativeResolver {
         name: &Name,
         rtype: RType,
         budget: &mut u32,
+        retries: &mut u32,
         depth: u32,
     ) -> Result<Resolution, ResolveError> {
         if depth > 6 {
@@ -232,9 +360,14 @@ impl IterativeResolver {
         if let Some(cached) = self.answer_cache.get(&(name.clone(), rtype)) {
             return cached.clone();
         }
-        let result = self.resolve_uncached(net, name, rtype, budget, depth);
-        // Cache everything except transient transport errors.
-        if !matches!(result, Err(ResolveError::Timeout)) {
+        let result = self.resolve_uncached(net, name, rtype, budget, retries, depth);
+        // Cache everything except transient failures: timeouts and
+        // SERVFAILs may clear within the sweep, and budget exhaustion is a
+        // property of this call's budget, not of the name.
+        if !matches!(
+            result,
+            Err(ResolveError::Timeout | ResolveError::ServFail | ResolveError::BudgetExhausted)
+        ) {
             self.answer_cache.insert((name.clone(), rtype), result.clone());
         }
         result
@@ -252,6 +385,38 @@ impl IterativeResolver {
         self.roots.iter().map(|r| r.addr).collect()
     }
 
+    /// Candidate servers in query order: healthy before penalized, faster
+    /// (smoothed RTT) before slower, original order as the tiebreak.
+    /// Penalized servers stay in the list — if everything else fails they
+    /// are still tried, so a penalty can never cause a false failure.
+    fn order_servers(&self, servers: &[Ipv4Addr], now: SimTime) -> Vec<Ipv4Addr> {
+        if !self.penalty_box_enabled {
+            return servers.to_vec();
+        }
+        let mut ordered = servers.to_vec();
+        ordered.sort_by_key(|addr| {
+            let h = self.health.get(addr).copied().unwrap_or_default();
+            let penalized = h.penalized_until > now;
+            (penalized, h.srtt_us)
+        });
+        ordered
+    }
+
+    fn note_success(&mut self, server: Ipv4Addr, rtt_us: u64) {
+        let h = self.health.entry(server).or_default();
+        // EWMA with 1/8 gain, like classic TCP SRTT.
+        h.srtt_us = h.srtt_us - h.srtt_us / 8 + rtt_us / 8;
+        h.fails = 0;
+        h.penalized_until = SimTime::ZERO;
+    }
+
+    fn note_failure(&mut self, server: Ipv4Addr, now: SimTime) {
+        let h = self.health.entry(server).or_default();
+        h.fails = h.fails.saturating_add(1);
+        let shift = (h.fails - 1).min(PENALTY_MAX_SHIFT);
+        h.penalized_until = now.plus_us(PENALTY_BASE_US << shift);
+    }
+
     fn send_query(
         &mut self,
         net: &mut Network,
@@ -259,7 +424,7 @@ impl IterativeResolver {
         name: &Name,
         rtype: RType,
         budget: &mut u32,
-    ) -> Result<Option<Message>, ResolveError> {
+    ) -> Result<QueryOutcome, ResolveError> {
         if *budget == 0 {
             return Err(ResolveError::BudgetExhausted);
         }
@@ -274,23 +439,66 @@ impl IterativeResolver {
         self.next_id = self.next_id.wrapping_add(1).max(1);
         let query = Message::query(id, name.clone(), rtype);
         let bytes = query.encode().map_err(|_| ResolveError::BadResponse)?;
-        match net.request(
-            self.client_ip,
-            (server, 53),
-            &bytes,
-            self.timeout_us,
-            self.attempts,
-        ) {
+        // A penalized server gets one transport attempt, not the full
+        // retry schedule: we are probing whether it recovered, not
+        // betting the query's latency budget on it.
+        let penalized = self.penalty_box_enabled
+            && self
+                .health
+                .get(&server)
+                .is_some_and(|h| h.penalized_until > net.now());
+        let attempts = if penalized { 1 } else { self.attempts };
+        let t0 = net.now();
+        match net.request(self.client_ip, (server, 53), &bytes, self.timeout_us, attempts) {
             Err(_) => {
+                self.stats.timeouts += 1;
+                self.note_failure(server, net.now());
                 self.record(TraceEvent::Timeout { server });
-                Ok(None) // timeout: caller tries the next server
+                Ok(QueryOutcome::Timeout)
             }
             Ok(reply) => {
                 let msg = Message::decode(&reply).map_err(|_| ResolveError::BadResponse)?;
                 if msg.id != id || !msg.is_response() {
                     return Err(ResolveError::BadResponse);
                 }
-                Ok(Some(msg))
+                let now = net.now();
+                if msg.flags.tc {
+                    self.stats.truncated += 1;
+                    self.note_failure(server, now);
+                    self.record(TraceEvent::Truncated { server });
+                    return Ok(QueryOutcome::Truncated);
+                }
+                match msg.flags.rcode {
+                    Rcode::NoError | Rcode::NxDomain => {
+                        // Lame delegation: the server answered, but
+                        // non-authoritatively, with nothing to act on —
+                        // it does not actually serve the zone.
+                        let lame = msg.flags.rcode == Rcode::NoError
+                            && !msg.flags.aa
+                            && msg.answers.is_empty()
+                            && !msg.authorities.iter().any(|r| r.data.rtype() == RType::Ns);
+                        if lame {
+                            self.stats.lame += 1;
+                            self.note_failure(server, now);
+                            self.record(TraceEvent::Lame { server });
+                            Ok(QueryOutcome::Lame)
+                        } else {
+                            self.note_success(server, now.as_micros() - t0.as_micros());
+                            Ok(QueryOutcome::Usable(msg))
+                        }
+                    }
+                    Rcode::ServFail => {
+                        self.stats.servfails += 1;
+                        self.note_failure(server, now);
+                        self.record(TraceEvent::ServFail { server });
+                        Ok(QueryOutcome::ServFail)
+                    }
+                    _ => {
+                        // REFUSED and friends: a deliberate answer, not a
+                        // broken box — no penalty, but not usable either.
+                        Ok(QueryOutcome::Refused)
+                    }
+                }
             }
         }
     }
@@ -301,6 +509,7 @@ impl IterativeResolver {
         qname: &Name,
         rtype: RType,
         budget: &mut u32,
+        retries: &mut u32,
         depth: u32,
     ) -> Result<Resolution, ResolveError> {
         let mut current_name = qname.clone();
@@ -308,32 +517,42 @@ impl IterativeResolver {
         let mut servers = self.starting_servers(&current_name);
         let mut saw_refusal = false;
         let mut saw_timeout = false;
+        let mut saw_servfail = false;
+        let mut saw_lame = false;
 
         for _step in 0..24 {
-            // Try servers in order until one answers.
+            // Try candidate servers, best-health first, until one gives a
+            // usable response. Each failure burns a retry token; when the
+            // budget is gone the resolution fails fast instead of walking
+            // the rest of a dead NS set.
+            let ordered = self.order_servers(&servers, net.now());
             let mut response = None;
-            for &server in &servers {
-                match self.send_query(net, server, &current_name, rtype, budget)? {
-                    Some(msg) => {
-                        match msg.flags.rcode {
-                            Rcode::NoError | Rcode::NxDomain => {
-                                response = Some(msg);
-                                break;
-                            }
-                            _ => {
-                                saw_refusal = true;
-                                continue; // lame/refusing server: try next
-                            }
-                        }
+            for &server in &ordered {
+                let outcome = self.send_query(net, server, &current_name, rtype, budget)?;
+                match outcome {
+                    QueryOutcome::Usable(msg) => {
+                        response = Some(msg);
+                        break;
                     }
-                    None => {
-                        saw_timeout = true;
-                        continue;
-                    }
+                    QueryOutcome::Timeout => saw_timeout = true,
+                    QueryOutcome::ServFail => saw_servfail = true,
+                    QueryOutcome::Lame => saw_lame = true,
+                    QueryOutcome::Truncated => saw_timeout = true,
+                    QueryOutcome::Refused => saw_refusal = true,
                 }
+                self.stats.retries_spent += 1;
+                if *retries == 0 {
+                    return Err(ResolveError::BudgetExhausted);
+                }
+                *retries -= 1;
             }
             let Some(msg) = response else {
-                return Err(if saw_refusal && !saw_timeout {
+                // Classify by the most specific protocol-visible cause.
+                return Err(if saw_lame {
+                    ResolveError::Lame
+                } else if saw_servfail {
+                    ResolveError::ServFail
+                } else if saw_refusal && !saw_timeout {
                     ResolveError::Refused
                 } else {
                     ResolveError::Timeout
@@ -406,7 +625,9 @@ impl IterativeResolver {
                 if addrs.is_empty() {
                     // Out-of-bailiwick NS: resolve their addresses.
                     for t in &targets {
-                        if let Ok(res) = self.resolve_inner(net, t, RType::A, budget, depth + 1) {
+                        if let Ok(res) =
+                            self.resolve_inner(net, t, RType::A, budget, retries, depth + 1)
+                        {
                             addrs.extend(res.addresses());
                         }
                         if addrs.len() >= 4 {
@@ -431,7 +652,8 @@ impl IterativeResolver {
             if msg.flags.aa {
                 return Ok(Resolution::NoData);
             }
-            // Neither answer, referral, nor authoritative denial.
+            // Neither answer, referral, nor authoritative denial, yet not
+            // lame-shaped either (send_query screens those out).
             return Err(ResolveError::BadResponse);
         }
         Err(ResolveError::BudgetExhausted)
@@ -443,6 +665,7 @@ mod tests {
     use super::*;
     use crate::server::{shared_zones, AuthServer, ServerBehavior};
     use ruwhere_dns::{RData, Record, SoaData, Zone};
+    use ruwhere_netsim::fault::{FaultWindow, ServerFault, ServerFaultMode};
     use ruwhere_netsim::{AsInfo, Topology};
     use ruwhere_types::{Asn, Country, SeedTree};
 
@@ -466,6 +689,7 @@ mod tests {
     const RU_TLD_IP: Ipv4Addr = Ipv4Addr::new(193, 232, 128, 6);
     const COM_TLD_IP: Ipv4Addr = Ipv4Addr::new(192, 5, 6, 30);
     const HOSTER_DNS_IP: Ipv4Addr = Ipv4Addr::new(194, 85, 61, 20);
+    const HOSTER_DNS2_IP: Ipv4Addr = Ipv4Addr::new(194, 85, 61, 21);
     const WEB_IP: Ipv4Addr = Ipv4Addr::new(194, 85, 90, 10);
     const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(130, 89, 1, 1);
 
@@ -532,6 +756,34 @@ mod tests {
             vec![RootHint { name: name("a.root-servers.net"), addr: ROOT_IP }],
         );
         (net, resolver)
+    }
+
+    /// Variant of [`build_world`] where example.ru has TWO glued name
+    /// servers, so server-selection behaviour (fallback, penalty box) is
+    /// observable. Returns the network, resolver, and the second server's
+    /// behavior handle.
+    fn build_two_ns_world() -> (
+        Network,
+        IterativeResolver,
+        std::sync::Arc<parking_lot::RwLock<ServerBehavior>>,
+    ) {
+        let (mut net, resolver) = build_world();
+        // Give example.ru a second, glued, in-bailiwick NS.
+        let mut ru = Zone::new(name("ru"), soa("a.dns.ripn.net"), 86400);
+        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
+        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns3.hoster.ru"))));
+        ru.add(Record::new(name("ns1.hoster.ru"), 3600, RData::A(HOSTER_DNS_IP)));
+        ru.add(Record::new(name("ns3.hoster.ru"), 3600, RData::A(HOSTER_DNS2_IP)));
+        net.bind(RU_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([ru]))));
+
+        let mut example = Zone::new(name("example.ru"), soa("ns1.hoster.ru"), 3600);
+        example.add(Record::new(name("example.ru"), 300, RData::A(WEB_IP)));
+        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.hoster.ru"))));
+        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns3.hoster.ru"))));
+        let srv2 = AuthServer::new(shared_zones([example]));
+        let handle = srv2.behavior_handle();
+        net.bind(HOSTER_DNS2_IP, 53, Box::new(srv2));
+        (net, resolver, handle)
     }
 
     #[test]
@@ -615,6 +867,7 @@ mod tests {
         net.unbind(HOSTER_DNS_IP, 53);
         let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
         assert_eq!(err, ResolveError::Timeout);
+        assert!(r.stats().timeouts > 0);
     }
 
     #[test]
@@ -634,5 +887,124 @@ mod tests {
         r.query_budget = 1;
         let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
         assert_eq!(err, ResolveError::BudgetExhausted);
+    }
+
+    #[test]
+    fn servfail_surfaces_as_servfail() {
+        let (mut net, mut r) = build_world();
+        let srv = AuthServer::new(shared_zones([]));
+        *srv.behavior_handle().write() = ServerBehavior::ServFail;
+        net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::ServFail);
+        assert!(r.stats().servfails > 0);
+    }
+
+    #[test]
+    fn lame_surfaces_as_lame() {
+        let (mut net, mut r) = build_world();
+        let srv = AuthServer::new(shared_zones([]));
+        *srv.behavior_handle().write() = ServerBehavior::Lame;
+        net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::Lame);
+        assert!(r.stats().lame > 0);
+    }
+
+    #[test]
+    fn servfail_falls_back_to_healthy_ns() {
+        // The fallback bugfix: one broken server in the NS set must not
+        // sink the resolution while a healthy sibling exists.
+        for bad in [ServerBehavior::ServFail, ServerBehavior::Lame, ServerBehavior::Truncated] {
+            let (mut net, mut r, _h2) = build_two_ns_world();
+            let srv = AuthServer::new(shared_zones([]));
+            *srv.behavior_handle().write() = bad;
+            net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
+            let res = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
+            assert_eq!(res.addresses(), vec![WEB_IP], "no fallback past {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_reply_counts_and_fails_alone() {
+        let (mut net, mut r) = build_world();
+        let srv = AuthServer::new(shared_zones([]));
+        *srv.behavior_handle().write() = ServerBehavior::Truncated;
+        net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
+        assert!(r.resolve(&mut net, &name("example.ru"), RType::A).is_err());
+        assert!(r.stats().truncated > 0);
+    }
+
+    #[test]
+    fn retry_budget_bounds_wasted_queries() {
+        let (mut net, mut r, _h2) = build_two_ns_world();
+        net.unbind(HOSTER_DNS_IP, 53);
+        net.unbind(HOSTER_DNS2_IP, 53);
+        r.retry_budget = 1;
+        // Both NS of example.ru are dead; the second failure exceeds the
+        // retry budget, so the walk stops instead of burning more timeouts.
+        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::BudgetExhausted);
+        assert_eq!(r.stats().retries_spent, 2);
+    }
+
+    #[test]
+    fn penalty_box_prefers_recovered_order_deterministically() {
+        // Identical runs produce identical query counts and stats even with
+        // health state in play.
+        let run = || {
+            let (mut net, mut r, h2) = build_two_ns_world();
+            *h2.write() = ServerBehavior::Silent;
+            for _ in 0..4 {
+                r.clear_cache();
+                let _ = r.resolve(&mut net, &name("example.ru"), RType::A);
+            }
+            (r.queries_sent(), r.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn penalty_box_reduces_wasted_queries_under_flapping() {
+        // A flapping primary NS plus a healthy secondary: the hardened
+        // resolver learns to prefer the healthy box, the naive one keeps
+        // re-probing the flapper. Same world, same seed, same workload —
+        // only the penalty box differs.
+        let run = |hardened: bool| {
+            let (mut net, mut r, _h2) = build_two_ns_world();
+            r.penalty_box_enabled = hardened;
+            net.faults_mut().add_server_fault(ServerFault {
+                addr: HOSTER_DNS_IP,
+                port: Some(53),
+                // Long dead phases relative to the query cadence.
+                mode: ServerFaultMode::Flapping { period_us: 120_000_000 },
+                window: FaultWindow::from(SimTime::ZERO),
+            });
+            let mut answered = 0u64;
+            for _ in 0..12 {
+                r.clear_cache();
+                if r.resolve(&mut net, &name("example.ru"), RType::A).is_ok() {
+                    answered += 1;
+                }
+            }
+            (answered, r.stats().retries_spent, net.now().as_micros())
+        };
+        let (ok_naive, wasted_naive, time_naive) = run(false);
+        let (ok_hard, wasted_hard, time_hard) = run(true);
+        // The numbers below are quoted in EXPERIMENTS.md; run with
+        // `--nocapture` to see them.
+        println!(
+            "flapping-NS comparison: naive {ok_naive}/12 answered, {wasted_naive} wasted, \
+             {time_naive}us; hardened {ok_hard}/12 answered, {wasted_hard} wasted, {time_hard}us"
+        );
+        assert!(ok_hard >= ok_naive, "hardening lost answers: {ok_hard} < {ok_naive}");
+        assert!(
+            wasted_hard < wasted_naive,
+            "penalty box saved nothing: {wasted_hard} vs {wasted_naive} wasted queries"
+        );
+        assert!(
+            time_hard < time_naive,
+            "penalty box saved no time: {time_hard}us vs {time_naive}us"
+        );
     }
 }

@@ -69,7 +69,8 @@ impl ZoneSet {
 pub type SharedZoneSet = Arc<RwLock<ZoneSet>>;
 
 /// How the server responds — the observable modes of provider behaviour
-/// during the 2022 disengagements.
+/// during the 2022 disengagements, plus the degraded modes the
+/// fault-injection layer exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerBehavior {
     /// Answer authoritatively from the zone set.
@@ -78,6 +79,14 @@ pub enum ServerBehavior {
     Refused,
     /// Never respond (black-holed / decommissioned).
     Silent,
+    /// Respond `SERVFAIL` to everything (frontend up, backend broken).
+    ServFail,
+    /// Respond with `TC=1` and empty sections (reply would not fit; the
+    /// UDP-only measurement client cannot use it).
+    Truncated,
+    /// Lame: answer `NOERROR` non-authoritatively with nothing — the box
+    /// is up but does not actually serve the delegated zone.
+    Lame,
 }
 
 /// The authoritative DNS service bound into the simulated network.
@@ -172,10 +181,22 @@ impl Service for AuthServer {
         if query.is_response() || query.questions.is_empty() {
             return None;
         }
-        let resp = if behavior == ServerBehavior::Refused {
-            Message::response_to(&query, Rcode::Refused)
-        } else {
-            Self::answer(&self.zones.read(), &query)
+        let resp = match behavior {
+            ServerBehavior::Refused => Message::response_to(&query, Rcode::Refused),
+            ServerBehavior::ServFail => Message::response_to(&query, Rcode::ServFail),
+            ServerBehavior::Truncated => {
+                let mut m = Message::response_to(&query, Rcode::NoError);
+                m.flags.tc = true;
+                m
+            }
+            ServerBehavior::Lame => {
+                let mut m = Message::response_to(&query, Rcode::NoError);
+                m.flags.aa = false;
+                m
+            }
+            ServerBehavior::Normal | ServerBehavior::Silent => {
+                Self::answer(&self.zones.read(), &query)
+            }
         };
         resp.encode().ok()
     }
@@ -292,6 +313,23 @@ mod tests {
         *behavior.write() = ServerBehavior::Refused;
         let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
         assert_eq!(Message::decode(&out).unwrap().flags.rcode, Rcode::Refused);
+
+        *behavior.write() = ServerBehavior::ServFail;
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        assert_eq!(Message::decode(&out).unwrap().flags.rcode, Rcode::ServFail);
+
+        *behavior.write() = ServerBehavior::Truncated;
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        let m = Message::decode(&out).unwrap();
+        assert!(m.flags.tc);
+        assert!(m.answers.is_empty());
+
+        *behavior.write() = ServerBehavior::Lame;
+        let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
+        let m = Message::decode(&out).unwrap();
+        assert_eq!(m.flags.rcode, Rcode::NoError);
+        assert!(!m.flags.aa);
+        assert!(m.answers.is_empty() && m.authorities.is_empty());
 
         *behavior.write() = ServerBehavior::Silent;
         assert!(srv.handle(&q, src, SimTime::ZERO).is_none());

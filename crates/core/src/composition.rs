@@ -10,7 +10,7 @@
 use ruwhere_scan::{DailySweep, DomainDay};
 use ruwhere_types::{Country, Date, DomainName};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The three-way label (plus `Unknown` for domains that did not resolve or
 /// geolocate at all).
@@ -138,6 +138,10 @@ pub struct CompositionSeries {
     kind: InfraKind,
     filter: Filter,
     days: BTreeMap<Date, CompositionCounts>,
+    /// Dates whose sweep was salvaged as partial (outage days). Raw counts
+    /// for these days are kept — the Figure-1 dip must stay visible — but
+    /// [`CompositionSeries::imputed_at`] can substitute a recent full day.
+    partial_days: BTreeSet<Date>,
 }
 
 impl CompositionSeries {
@@ -147,6 +151,7 @@ impl CompositionSeries {
             kind,
             filter: Filter::All,
             days: BTreeMap::new(),
+            partial_days: BTreeSet::new(),
         }
     }
 
@@ -156,6 +161,7 @@ impl CompositionSeries {
             kind,
             filter: Filter::Static(domains.into_iter().collect()),
             days: BTreeMap::new(),
+            partial_days: BTreeSet::new(),
         }
     }
 
@@ -166,6 +172,7 @@ impl CompositionSeries {
             kind,
             filter: Filter::Sanctions(list),
             days: BTreeMap::new(),
+            partial_days: BTreeSet::new(),
         }
     }
 
@@ -192,6 +199,11 @@ impl CompositionSeries {
             counts.bump(self.classify_record(rec));
         }
         self.days.insert(sweep.date, counts);
+        if sweep.is_partial() {
+            self.partial_days.insert(sweep.date);
+        } else {
+            self.partial_days.remove(&sweep.date);
+        }
     }
 
     /// Per-date counts, in date order.
@@ -202,6 +214,45 @@ impl CompositionSeries {
     /// Counts on one date.
     pub fn at(&self, date: Date) -> Option<&CompositionCounts> {
         self.days.get(&date)
+    }
+
+    /// Whether the sweep observed on `date` was a salvaged partial.
+    pub fn is_partial_day(&self, date: Date) -> bool {
+        self.partial_days.contains(&date)
+    }
+
+    /// Counts on `date` with explicit, bounded carry-forward imputation.
+    ///
+    /// For a full-sweep day this is just `(raw counts, false)`. For a
+    /// partial (outage) day, the most recent full day within
+    /// `max_lookback_days` is substituted and the result is flagged
+    /// `true` — the imputation is never silent. If no full day exists in
+    /// the lookback window, the raw partial counts are returned unflagged;
+    /// callers can distinguish that residual case via
+    /// [`CompositionSeries::is_partial_day`].
+    ///
+    /// [`CompositionSeries::at`] deliberately stays raw: analyses that
+    /// *want* to see the Figure-1 dip read `at`, analyses that want a gap-
+    /// tolerant trend read `imputed_at`.
+    pub fn imputed_at(
+        &self,
+        date: Date,
+        max_lookback_days: u32,
+    ) -> Option<(CompositionCounts, bool)> {
+        let raw = *self.days.get(&date)?;
+        if !self.partial_days.contains(&date) {
+            return Some((raw, false));
+        }
+        let donor = self
+            .days
+            .range(..date)
+            .rev()
+            .take_while(|(d, _)| (date - **d) as u32 <= max_lookback_days)
+            .find(|(d, _)| !self.partial_days.contains(*d));
+        match donor {
+            Some((_, counts)) => Some((*counts, true)),
+            None => Some((raw, false)),
+        }
     }
 
     /// First and last observed rows (for net-change summaries).
@@ -249,6 +300,51 @@ mod tests {
             domains,
             stats: SweepStats::default(),
         }
+    }
+
+    fn partial_sweep(date: Date, domains: Vec<DomainDay>) -> DailySweep {
+        DailySweep {
+            date,
+            domains,
+            stats: SweepStats {
+                completeness: ruwhere_scan::Completeness::Partial,
+                ..SweepStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn imputation_carries_forward_flagged_and_bounded() {
+        let d1 = Date::from_ymd(2021, 3, 21);
+        let d2 = Date::from_ymd(2021, 3, 22); // outage day
+        let mut series = CompositionSeries::new(InfraKind::NameServers);
+        series.observe(&sweep(
+            d1,
+            vec![
+                rec("a.ru", &[Some("RU")], &[]),
+                rec("b.ru", &[Some("US")], &[]),
+            ],
+        ));
+        // The outage day salvages a single record.
+        series.observe(&partial_sweep(d2, vec![rec("a.ru", &[Some("RU")], &[])]));
+
+        // Raw view keeps the dip.
+        assert_eq!(series.at(d2).unwrap().total(), 1);
+        assert!(series.is_partial_day(d2));
+        assert!(!series.is_partial_day(d1));
+
+        // Imputed view substitutes the day before, flagged.
+        let (c, imputed) = series.imputed_at(d2, 7).unwrap();
+        assert!(imputed);
+        assert_eq!(c.total(), 2);
+        // Full days pass through unflagged.
+        let (c, imputed) = series.imputed_at(d1, 7).unwrap();
+        assert!(!imputed);
+        assert_eq!(c.total(), 2);
+        // A zero-day lookback finds no donor: raw counts, unflagged.
+        let (c, imputed) = series.imputed_at(d2, 0).unwrap();
+        assert!(!imputed);
+        assert_eq!(c.total(), 1);
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub struct DatasetStats {
     dns_asns: BTreeSet<Asn>,
     sweeps: u64,
     records: u64,
+    partial_sweeps: u64,
+    timeouts: u64,
+    servfails: u64,
+    lame: u64,
+    retries_spent: u64,
 }
 
 impl DatasetStats {
@@ -28,6 +33,13 @@ impl DatasetStats {
     /// Consume one sweep.
     pub fn observe(&mut self, sweep: &DailySweep) {
         self.sweeps += 1;
+        if sweep.is_partial() {
+            self.partial_sweeps += 1;
+        }
+        self.timeouts += sweep.stats.timeouts;
+        self.servfails += sweep.stats.servfails;
+        self.lame += sweep.stats.lame;
+        self.retries_spent += sweep.stats.retries_spent;
         for rec in &sweep.domains {
             self.records += 1;
             self.unique_domains.insert(rec.domain.clone());
@@ -68,6 +80,32 @@ impl DatasetStats {
     pub fn records(&self) -> u64 {
         self.records
     }
+
+    /// Sweeps salvaged as partial (measurement-gap days, footnote 8).
+    pub fn partial_sweeps(&self) -> u64 {
+        self.partial_sweeps
+    }
+
+    /// Query timeouts across all sweeps.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// SERVFAIL answers across all sweeps.
+    pub fn servfails(&self) -> u64 {
+        self.servfails
+    }
+
+    /// Lame answers across all sweeps.
+    pub fn lame(&self) -> u64 {
+        self.lame
+    }
+
+    /// Failed exchanges charged to resolver retry budgets — the study's
+    /// total wasted-query bill.
+    pub fn retries_spent(&self) -> u64 {
+        self.retries_spent
+    }
 }
 
 #[cfg(test)]
@@ -101,12 +139,24 @@ mod tests {
         stats.observe(&DailySweep {
             date: Date::from_ymd(2022, 1, 2),
             domains: vec![rec("a.ru", 1, 11), rec("c.ru", 3, 12)],
-            stats: SweepStats::default(),
+            stats: SweepStats {
+                timeouts: 5,
+                servfails: 2,
+                lame: 1,
+                retries_spent: 8,
+                completeness: ruwhere_scan::Completeness::Partial,
+                ..SweepStats::default()
+            },
         });
         assert_eq!(stats.unique_domains(), 3);
         assert_eq!(stats.hosting_asns(), 3);
         assert_eq!(stats.dns_asns(), 3);
         assert_eq!(stats.sweeps(), 2);
         assert_eq!(stats.records(), 4);
+        assert_eq!(stats.partial_sweeps(), 1);
+        assert_eq!(stats.timeouts(), 5);
+        assert_eq!(stats.servfails(), 2);
+        assert_eq!(stats.lame(), 1);
+        assert_eq!(stats.retries_spent(), 8);
     }
 }

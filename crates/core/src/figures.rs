@@ -34,6 +34,26 @@ pub fn dataset_table(r: &StudyResults) -> Table {
         format!("{} / {}", r.dataset.sweeps(), r.dataset.records()),
         "1803 daily".into(),
     ]);
+    t.row([
+        "partial (gap) sweeps".to_owned(),
+        r.dataset.partial_sweeps().to_string(),
+        "1 (2021-03-22, fn. 8)".into(),
+    ]);
+    t.row([
+        "query failures (timeout/servfail/lame)".to_owned(),
+        format!(
+            "{} / {} / {}",
+            r.dataset.timeouts(),
+            r.dataset.servfails(),
+            r.dataset.lame()
+        ),
+        "—".into(),
+    ]);
+    t.row([
+        "retry budget spent".to_owned(),
+        r.dataset.retries_spent().to_string(),
+        "—".into(),
+    ]);
     t
 }
 
@@ -290,7 +310,7 @@ pub fn movement_table(
     ]);
     // Top destinations.
     let mut dests: Vec<(Asn, usize)> = report.destinations().into_iter().collect();
-    dests.sort_by(|a, b| b.1.cmp(&a.1));
+    dests.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (dest, n) in dests.into_iter().take(3) {
         t.row([format!("→ {dest}"), n.to_string(), pct(n)]);
     }

@@ -108,7 +108,7 @@ impl TransitionFlows {
             .iter()
             .map(|(&(f, t), &n)| ((uncode(f), uncode(t)), n))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         v
     }
 

@@ -376,7 +376,7 @@ fn parse_record_line(line: &str) -> Result<Record, String> {
                 return Err("DS needs 4 fields".into());
             }
             let digest_hex = rest[3];
-            if digest_hex.len() % 2 != 0 {
+            if !digest_hex.len().is_multiple_of(2) {
                 return Err("odd-length DS digest".into());
             }
             let digest: Result<Vec<u8>, _> = (0..digest_hex.len())

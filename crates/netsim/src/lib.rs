@@ -12,6 +12,9 @@
 //! * [`sim`] — the event core: virtual time, a scheduler, hosts with UDP
 //!   services, and a synchronous client request/response facade used by the
 //!   resolver and the scanners.
+//! * [`fault`] — scheduled fault injection: server outages, flapping boxes
+//!   and degraded links active during windows of virtual time, replacing
+//!   ad-hoc loss knobs with a declarative, deterministic [`FaultPlan`].
 //!
 //! Everything is deterministic: latency, jitter and loss are pure functions
 //! of a [`ruwhere_types::SeedTree`] seed and packet identity, so a scan run
@@ -47,11 +50,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ip;
 pub mod routing;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{FaultPlan, FaultWindow, LinkFault, ServerFault, ServerFaultMode};
 pub use ip::{IpAllocator, Ipv4Net, PrefixParseError};
 pub use routing::RoutingTable;
 pub use sim::{Datagram, NetError, Network, Service, SimTime};

@@ -8,6 +8,7 @@
 //! timeout expires. Latency, jitter and loss are deterministic functions of
 //! the topology seed and a per-packet sequence number.
 
+use crate::fault::FaultPlan;
 use crate::topology::Topology;
 use ruwhere_types::SeedTree;
 use std::cmp::Reverse;
@@ -101,6 +102,8 @@ pub struct NetStats {
     pub delivered: u64,
     /// Requests that found no listening service.
     pub unreachable: u64,
+    /// Datagrams black-holed by an active server fault (outage/flapping).
+    pub faulted: u64,
 }
 
 enum Event {
@@ -116,8 +119,14 @@ pub struct Network {
     pending: HashMap<u64, Event>,
     now: SimTime,
     seq: u64,
-    /// Packet loss probability in [0, 1).
+    /// Uniform packet loss probability in [0, 1).
+    ///
+    /// Legacy convenience knob: semantically it compiles down to the trivial
+    /// fault plan [`FaultPlan::uniform_loss`] — one always-on link fault
+    /// covering the whole address space. Scheduled or localised faults go in
+    /// [`faults_mut`](Network::faults_mut) instead.
     pub loss_rate: f64,
+    faults: FaultPlan,
     stats: NetStats,
 }
 
@@ -133,6 +142,7 @@ impl Network {
             now: SimTime::ZERO,
             seq: 0,
             loss_rate: 0.0,
+            faults: FaultPlan::new(),
             stats: NetStats::default(),
         }
     }
@@ -155,6 +165,21 @@ impl Network {
     /// Transport statistics so far.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable fault plan access (install/expire scheduled faults).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Replace the whole fault plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
     }
 
     /// Bind a service to `addr:port`, replacing any previous binding.
@@ -208,10 +233,29 @@ impl Network {
         u < self.loss_rate
     }
 
+    /// Deterministic extra-loss draw for packet `seq` on the path `a`↔`b`:
+    /// each active matching link fault contributes an independent Bernoulli
+    /// stream keyed by (fault index, seq).
+    fn fault_lost(&self, seq: u64, a: Ipv4Addr, b: Ipv4Addr) -> bool {
+        if self.faults.is_empty() {
+            return false;
+        }
+        let base = self.seed.child("linkfault").child_idx(seq);
+        self.faults.active_link_faults(a, b, self.now).any(|(i, f)| {
+            if f.extra_loss <= 0.0 {
+                return false;
+            }
+            let h = base.child_idx(i as u64).seed();
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            u < f.extra_loss
+        })
+    }
+
     fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, packet_id: u64) -> Option<u64> {
         let a = self.topo.asn_of(from)?;
         let b = self.topo.asn_of(to)?;
-        Some(self.topo.latency_us(a, b) + self.topo.jitter_us(a, b, packet_id))
+        let degraded = self.faults.extra_latency_us(from, to, self.now);
+        Some(self.topo.latency_us(a, b) + self.topo.jitter_us(a, b, packet_id) + degraded)
     }
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
@@ -229,7 +273,7 @@ impl Network {
         let Some(lat) = self.one_way_us(dgram.src.0, dgram.dst.0, seq) else {
             return false;
         };
-        if self.lost(seq) {
+        if self.lost(seq) || self.fault_lost(seq, dgram.src.0, dgram.dst.0) {
             self.stats.dropped += 1;
             return true; // it was sent; the network ate it
         }
@@ -263,6 +307,12 @@ impl Network {
 
     fn deliver_to_service(&mut self, dgram: Datagram) {
         let key = dgram.dst;
+        // A server fault black-holes the datagram at the box: the packet
+        // crossed the network (latency was paid) but nothing answers.
+        if self.faults.server_down(key.0, key.1, self.now) {
+            self.stats.faulted += 1;
+            return;
+        }
         let Some(mut svc) = self.services.remove(&key) else {
             self.stats.unreachable += 1;
             return;
@@ -274,7 +324,7 @@ impl Network {
         if let Some(payload) = reply {
             let seq = self.next_seq();
             self.stats.sent += 1;
-            if self.lost(seq) {
+            if self.lost(seq) || self.fault_lost(seq, dgram.dst.0, dgram.src.0) {
                 self.stats.dropped += 1;
                 return;
             }
@@ -464,5 +514,118 @@ mod tests {
     fn sim_time_display() {
         assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
         assert_eq!(SimTime::ZERO.to_string(), "0.000000s");
+    }
+
+    #[test]
+    fn server_outage_window_blackholes_then_recovers() {
+        use crate::fault::{FaultWindow, ServerFault, ServerFaultMode};
+        let mut net = network();
+        net.bind(SERVER, 53, Box::new(Echo));
+        // Outage of 10 virtual seconds starting 1s in.
+        net.faults_mut().add_server_fault(ServerFault {
+            addr: SERVER,
+            port: Some(53),
+            mode: ServerFaultMode::Outage,
+            window: FaultWindow::between(SimTime(1_000_000), SimTime(11_000_000)),
+        });
+        // Before the window: healthy.
+        assert!(net.request(CLIENT, (SERVER, 53), b"a", 500_000, 1).is_ok());
+        // Burn time into the window via timeouts, observing the outage.
+        let mut failures = 0;
+        while net.now().as_micros() < 11_000_000 {
+            if net.request(CLIENT, (SERVER, 53), b"b", 1_000_000, 1).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 5, "outage produced only {failures} timeouts");
+        assert!(net.stats().faulted > 0);
+        // After the window: healthy again, no rebind needed.
+        assert!(net.request(CLIENT, (SERVER, 53), b"c", 500_000, 2).is_ok());
+    }
+
+    #[test]
+    fn flapping_server_alternates_and_is_deterministic() {
+        use crate::fault::{FaultWindow, ServerFault, ServerFaultMode};
+        let run = || {
+            let mut net = network();
+            net.bind(SERVER, 53, Box::new(Echo));
+            net.faults_mut().add_server_fault(ServerFault {
+                addr: SERVER,
+                port: None,
+                mode: ServerFaultMode::Flapping { period_us: 2_000_000 },
+                window: FaultWindow::from(SimTime::ZERO),
+            });
+            let mut outcomes = Vec::new();
+            for _ in 0..20 {
+                outcomes.push(net.request(CLIENT, (SERVER, 53), b"q", 500_000, 1).is_ok());
+            }
+            (outcomes, net.stats())
+        };
+        let (outcomes, stats) = run();
+        let ok = outcomes.iter().filter(|o| **o).count();
+        assert!(ok > 0, "flapping server never answered");
+        assert!(ok < 20, "flapping server never failed");
+        assert!(stats.faulted > 0);
+        assert_eq!(run(), (outcomes, stats), "flapping must be deterministic");
+    }
+
+    #[test]
+    fn degraded_link_raises_loss_and_latency() {
+        use crate::fault::{FaultWindow, LinkFault};
+        let run = |fault: bool| {
+            let mut net = network();
+            net.bind(SERVER, 53, Box::new(Echo));
+            if fault {
+                net.faults_mut().add_link_fault(LinkFault {
+                    prefix: "192.0.2.0/24".parse().unwrap(),
+                    extra_loss: 0.4,
+                    extra_latency_us: 50_000,
+                    window: FaultWindow::always(),
+                });
+            }
+            let mut ok = 0u64;
+            for _ in 0..200 {
+                if net.request(CLIENT, (SERVER, 53), b"q", 400_000, 1).is_ok() {
+                    ok += 1;
+                }
+            }
+            (ok, net.stats().dropped, net.now().as_micros())
+        };
+        let (ok_clean, dropped_clean, _) = run(false);
+        let (ok_degraded, dropped_degraded, elapsed_degraded) = run(true);
+        assert_eq!(ok_clean, 200);
+        assert_eq!(dropped_clean, 0);
+        assert!(dropped_degraded > 0, "link fault never dropped a packet");
+        assert!(ok_degraded < ok_clean, "link fault had no effect");
+        // Surviving round trips each paid 2 × 50ms extra latency.
+        assert!(elapsed_degraded > u64::from(ok_degraded as u32) * 100_000);
+        // Determinism under faults.
+        assert_eq!(run(true), (ok_degraded, dropped_degraded, elapsed_degraded));
+    }
+
+    #[test]
+    fn uniform_loss_plan_matches_loss_rate_semantics() {
+        use crate::fault::FaultPlan;
+        // The legacy knob and the trivial plan are the same model: uniform
+        // independent loss on every datagram. Streams differ (different seed
+        // children) but behaviour must be statistically indistinguishable.
+        let run = |knob: f64, plan: f64| {
+            let mut net = network();
+            net.loss_rate = knob;
+            net.set_fault_plan(FaultPlan::uniform_loss(plan));
+            net.bind(SERVER, 53, Box::new(Echo));
+            let mut ok = 0u64;
+            for _ in 0..300 {
+                if net.request(CLIENT, (SERVER, 53), b"q", 200_000, 3).is_ok() {
+                    ok += 1;
+                }
+            }
+            (ok, net.stats().dropped)
+        };
+        let (ok_knob, dropped_knob) = run(0.3, 0.0);
+        let (ok_plan, dropped_plan) = run(0.0, 0.3);
+        assert!(dropped_knob > 0 && dropped_plan > 0);
+        let diff = ok_knob.abs_diff(ok_plan);
+        assert!(diff < 30, "knob {ok_knob} vs plan {ok_plan} diverge too far");
     }
 }

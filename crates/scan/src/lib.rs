@@ -22,6 +22,6 @@ pub mod whois;
 pub mod xfr;
 
 pub use censys::{CertDataset, CertRecord, IpScanSnapshot, IpScanner, MatchRule};
-pub use openintel::{AddrInfo, DailySweep, DomainDay, OpenIntelScanner, SweepStats};
+pub use openintel::{AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner, SweepStats};
 pub use whois::{ArrivalClassification, WhoisClient};
 pub use xfr::{XfrError, ZoneTransferClient};

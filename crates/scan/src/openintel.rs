@@ -52,6 +52,21 @@ impl DomainDay {
     }
 }
 
+/// Whether a sweep's dataset is complete or was salvaged from a day of
+/// heavy measurement failure (an infrastructure outage, Figure-1 style).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completeness {
+    /// The sweep resolved normally; failures are kept as unknown-bucket
+    /// records.
+    #[default]
+    Full,
+    /// The day's failure rate exceeded the salvage threshold: unresolved
+    /// records were dropped, leaving only what actually measured. The raw
+    /// daily total visibly dips — exactly how the real dataset records an
+    /// outage day.
+    Partial,
+}
+
 /// Aggregate counters for one sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepStats {
@@ -67,6 +82,17 @@ pub struct SweepStats {
     /// latency cost of active measurement at this scale (cf. the
     /// OpenINTEL infrastructure paper's throughput engineering).
     pub virtual_elapsed_us: u64,
+    /// Queries that timed out (per-cause failure accounting).
+    pub timeouts: u64,
+    /// Queries answered SERVFAIL.
+    pub servfails: u64,
+    /// Queries answered lamely.
+    pub lame: u64,
+    /// Failed exchanges charged to resolver retry budgets — the wasted
+    /// query cost of server misbehaviour during this sweep.
+    pub retries_spent: u64,
+    /// Whether the sweep is full or a salvaged partial.
+    pub completeness: Completeness,
 }
 
 /// One day's complete measurement output.
@@ -80,10 +106,22 @@ pub struct DailySweep {
     pub stats: SweepStats,
 }
 
+impl DailySweep {
+    /// Whether this sweep was salvaged as partial (outage day).
+    pub fn is_partial(&self) -> bool {
+        self.stats.completeness == Completeness::Partial
+    }
+}
+
 /// The sweep engine. Owns the resolver; create once, call
 /// [`OpenIntelScanner::sweep`] per measurement day.
 pub struct OpenIntelScanner {
     resolver: IterativeResolver,
+    /// NS-failure-rate threshold above which a day is salvaged as a
+    /// [`Completeness::Partial`] sweep instead of kept whole. Chosen well
+    /// above ordinary packet-loss attrition so only genuine infrastructure
+    /// faults trip it.
+    partial_threshold: f64,
 }
 
 impl OpenIntelScanner {
@@ -91,7 +129,15 @@ impl OpenIntelScanner {
     pub fn new(world: &World) -> Self {
         OpenIntelScanner {
             resolver: IterativeResolver::new(world.scanner_ip(), world.root_hints()),
+            partial_threshold: 0.5,
         }
+    }
+
+    /// Override the partial-sweep salvage threshold (fraction of seeded
+    /// domains whose NS resolution must fail before the day is marked
+    /// partial).
+    pub fn set_partial_threshold(&mut self, threshold: f64) {
+        self.partial_threshold = threshold.clamp(0.0, 1.0);
     }
 
     /// Run one full sweep at the world's current date.
@@ -106,6 +152,7 @@ impl OpenIntelScanner {
         self.resolver.clear_cache();
         let seeds = world.seed_names();
         let queries_before = self.resolver.queries_sent();
+        let causes_before = self.resolver.stats();
         let t_start = world.network().now();
 
         let mut stats = SweepStats {
@@ -176,6 +223,24 @@ impl OpenIntelScanner {
         }
         stats.queries = self.resolver.queries_sent() - queries_before;
         stats.virtual_elapsed_us = world.network().now().as_micros() - t_start.as_micros();
+        let causes = self.resolver.stats();
+        stats.timeouts = causes.timeouts - causes_before.timeouts;
+        stats.servfails = causes.servfails - causes_before.servfails;
+        stats.lame = causes.lame - causes_before.lame;
+        stats.retries_spent = causes.retries_spent - causes_before.retries_spent;
+
+        // Gap salvage: a day where most NS resolutions failed is not a
+        // usable full snapshot (the real pipeline records such days as
+        // gaps, cf. the 2021-03-22 .ru outage in Figure 1). Keep whatever
+        // actually measured, drop the rest, and flag the sweep partial so
+        // downstream analyses can impute rather than misread the dip as
+        // mass domain deletion.
+        if stats.seeded > 0
+            && stats.ns_failures as f64 / stats.seeded as f64 > self.partial_threshold
+        {
+            stats.completeness = Completeness::Partial;
+            raw.retain(|r| !r.ns_ips.is_empty() || !r.apex_ips.is_empty());
+        }
 
         // Annotation pass (immutable world reads).
         let geo = world.geo().snapshot_at(date);

@@ -1,5 +1,6 @@
 //! World configuration: scale, windows, cadences, behaviour rates.
 
+use crate::timeline::ConflictEvent;
 use ruwhere_types::{Date, STUDY_END, STUDY_START};
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,11 @@ pub struct WorldConfig {
     /// move, geolocation "lags behind" until the next IP2Location snapshot
     /// — reproducing the measurement artifact the paper cautions about.
     pub netnod_prefix_move: bool,
+    /// Additional dated events merged into the paper timeline — the
+    /// injection point for ablations and fault-robustness experiments
+    /// (e.g. an [`ConflictEvent::InfrastructureFault`] inside a test
+    /// window). Paper events stay fixed; this only adds.
+    pub extra_events: Vec<(Date, ConflictEvent)>,
 }
 
 impl WorldConfig {
@@ -91,6 +97,7 @@ impl WorldConfig {
             sanctioned_count: 107,
             extra_russian_sites: 38,
             netnod_prefix_move: false,
+            extra_events: Vec::new(),
         }
     }
 

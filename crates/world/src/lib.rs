@@ -39,6 +39,6 @@ pub mod world;
 pub use catalog::{CaId, ProviderId};
 pub use config::WorldConfig;
 pub use domain_state::{DnsPlan, DomainState, HostingPlan};
-pub use timeline::{ConflictEvent, Timeline};
+pub use timeline::{ConflictEvent, FaultTarget, InfraFault, Timeline};
 pub use tls::{ChainSummary, TlsEndpoint, TLS_PORT};
 pub use world::World;

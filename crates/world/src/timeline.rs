@@ -3,6 +3,28 @@
 use ruwhere_types::Date;
 use serde::{Deserialize, Serialize};
 
+/// Which piece of DNS infrastructure an [`InfraFault`] takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The `.ru`/`.рф` TLD servers (RIPN / TCI) — the 2021-03-22 outage
+    /// behind the Figure-1 dip.
+    RuTldServers,
+    /// The root servers.
+    Root,
+    /// The gTLD (`.com`-side) servers.
+    GtldServers,
+}
+
+/// A scheduled infrastructure outage: the named servers black-hole all
+/// queries for `duration_hours` starting at the event date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfraFault {
+    /// What goes down.
+    pub target: FaultTarget,
+    /// How long it stays down, in hours of simulated time.
+    pub duration_hours: u32,
+}
+
 /// One dated event played against the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConflictEvent {
@@ -38,6 +60,12 @@ pub enum ConflictEvent {
     /// Sectigo revokes all certificates it issued for sanctioned domains
     /// (Table 2: 164/164).
     SectigoSanctionedRevocation,
+    /// A dated infrastructure outage. The paper's instance: the
+    /// 2021-03-22 `.ru` TLD-server outage that produces the sharp one-day
+    /// dip in Figure 1 (footnote 8) — the measurement gap is caused
+    /// *mechanically* by the servers being unreachable, not by editing
+    /// analysis output.
+    InfrastructureFault(InfraFault),
 }
 
 /// The full dated schedule.
@@ -51,6 +79,13 @@ impl Timeline {
     pub fn paper() -> Self {
         use ConflictEvent::*;
         let mut events = vec![
+            (
+                Date::from_ymd(2021, 3, 22),
+                InfrastructureFault(InfraFault {
+                    target: FaultTarget::RuTldServers,
+                    duration_hours: 20,
+                }),
+            ),
             (Date::from_ymd(2022, 2, 24), ConflictStart),
             (Date::from_ymd(2022, 2, 25), SanctionsListed),
             (Date::from_ymd(2022, 3, 1), RussianCaLaunch),
@@ -66,6 +101,14 @@ impl Timeline {
         ];
         events.sort_by_key(|(d, _)| *d);
         Timeline { events }
+    }
+
+    /// Add extra dated events (configuration-injected faults and the
+    /// like), keeping the schedule date-ordered. The sort is stable, so
+    /// same-day events keep paper order before injected order.
+    pub fn extend(&mut self, extra: impl IntoIterator<Item = (Date, ConflictEvent)>) {
+        self.events.extend(extra);
+        self.events.sort_by_key(|(d, _)| *d);
     }
 
     /// Events scheduled for exactly `date`.
@@ -127,6 +170,34 @@ mod tests {
         let mut sorted = dates.clone();
         sorted.sort();
         assert_eq!(dates, sorted);
-        assert_eq!(dates.len(), 12);
+        assert_eq!(dates.len(), 13);
+    }
+
+    #[test]
+    fn paper_includes_the_march_2021_outage() {
+        let t = Timeline::paper();
+        let outage: Vec<_> = t.on(Date::from_ymd(2021, 3, 22)).collect();
+        assert_eq!(
+            outage,
+            vec![ConflictEvent::InfrastructureFault(InfraFault {
+                target: FaultTarget::RuTldServers,
+                duration_hours: 20,
+            })]
+        );
+    }
+
+    #[test]
+    fn extend_keeps_order() {
+        let mut t = Timeline::paper();
+        let fault = ConflictEvent::InfrastructureFault(InfraFault {
+            target: FaultTarget::Root,
+            duration_hours: 2,
+        });
+        t.extend(vec![(Date::from_ymd(2022, 1, 15), fault)]);
+        let dates: Vec<Date> = t.iter().map(|(d, _)| d).collect();
+        let mut sorted = dates.clone();
+        sorted.sort();
+        assert_eq!(dates, sorted);
+        assert!(t.on(Date::from_ymd(2022, 1, 15)).any(|e| e == fault));
     }
 }

@@ -6,7 +6,7 @@ use crate::catalog::{
 };
 use crate::config::WorldConfig;
 use crate::domain_state::{DnsPlan, DomainState, HostingPlan, TlsProfile};
-use crate::timeline::{ConflictEvent, Timeline};
+use crate::timeline::{ConflictEvent, FaultTarget, InfraFault, Timeline};
 use crate::tls::{ChainSummary, ServingMap, TlsEndpoint, TLS_PORT};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -17,7 +17,10 @@ use ruwhere_ct::revocation::RevocationReason;
 use ruwhere_ct::{CaPolicy, CertificateAuthority, CtLog, OcspResponder};
 use ruwhere_dns::{Name, RData, Record, SoaData, Zone};
 use ruwhere_geo::{GeoDbBuilder, LongitudinalGeoDb};
-use ruwhere_netsim::{AsInfo, IpAllocator, Ipv4Net, Network, Topology};
+use ruwhere_netsim::{
+    AsInfo, FaultWindow, IpAllocator, Ipv4Net, Network, ServerFault, ServerFaultMode, SimTime,
+    Topology,
+};
 use ruwhere_registry::{Delegation, NameGenerator, Registry, SanctionSource, SanctionsList};
 use ruwhere_types::{Date, DomainName, Period, SeedTree, CONFLICT_START};
 use std::collections::{BTreeMap, HashMap};
@@ -120,6 +123,12 @@ pub struct World {
     rng: StdRng,
     today: Date,
     timeline: Timeline,
+    /// Scheduled lifts for installed infrastructure faults: on the keyed
+    /// day, every `(addr, port)` listed is removed from the network's
+    /// fault plan. Keyed by calendar date because virtual time only
+    /// advances while measurements run — a 20-hour outage must still end
+    /// by the next day even if nobody sent a packet overnight.
+    fault_clears: BTreeMap<Date, Vec<(Ipv4Addr, u16)>>,
 
     providers: Vec<ProviderSpec>,
     web_alloc: Vec<IpAllocator>,
@@ -280,7 +289,12 @@ impl World {
             root_zone: Arc::new(RwLock::new(ZoneSet::new())),
             hosting_shares: catalog::hosting_shares(),
             today: cfg.start,
-            timeline: Timeline::paper(),
+            timeline: {
+                let mut t = Timeline::paper();
+                t.extend(cfg.extra_events.iter().copied());
+                t
+            },
+            fault_clears: BTreeMap::new(),
             seed,
             providers,
             web_alloc,
@@ -302,8 +316,26 @@ impl World {
         world.build_portfolio();
         world.build_sanctioned();
         world.build_extra_sites();
+        world.settle_to_targets();
         world.snapshot_geo(world.cfg.start);
         world
+    }
+
+    /// Relax provider/plan memberships to their day-0 share targets.
+    ///
+    /// The initial population draw lands near, but not exactly on, the
+    /// configured share schedules; without this step the background
+    /// rebalancer spends the first simulated week doing large corrective
+    /// moves, which a measurement study then misreads as real early-study
+    /// churn (spurious composition transitions swamping genuine events).
+    /// Settling before `cfg.start` makes day-one sweeps observe a world
+    /// already in equilibrium.
+    fn settle_to_targets(&mut self) {
+        let start = self.cfg.start;
+        for _ in 0..8 {
+            self.rebalance_hosting(start);
+            self.rebalance_plans(start);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1071,6 +1103,7 @@ impl World {
     }
 
     fn step_day(&mut self, date: Date) {
+        self.lift_expired_faults(date);
         let events: Vec<ConflictEvent> = self.timeline.on(date).collect();
         for ev in events {
             self.apply_event(ev, date);
@@ -1086,7 +1119,7 @@ impl World {
             self.russian_ca_tick(date);
         }
         let since_start = (date - self.cfg.start) as u32;
-        if since_start > 0 && since_start % self.cfg.geo_snapshot_interval_days == 0 {
+        if since_start > 0 && since_start.is_multiple_of(self.cfg.geo_snapshot_interval_days) {
             self.snapshot_geo(date.add_days(self.cfg.geo_snapshot_lag_days as i32));
         }
     }
@@ -1102,6 +1135,7 @@ impl World {
                 self.revoke_all_sanctioned(caid::SECTIGO, date)
             }
             ConflictEvent::RussianCaLaunch => self.schedule_russian_ca(date),
+            ConflictEvent::InfrastructureFault(f) => self.install_infra_fault(f, date),
             // Stop dates are enforced through CA policy below; the
             // remaining events are markers whose effects flow from the
             // share schedules.
@@ -1113,6 +1147,59 @@ impl World {
                 self.cas[i].policy = CaPolicy::Suspended;
             }
         }
+    }
+
+    /// Install a timeline [`InfraFault`] into the network's fault plan.
+    ///
+    /// The targeted servers black-hole all queries from the current virtual
+    /// instant for `duration_hours` of virtual time; because virtual time
+    /// only advances during measurements, a calendar-day lift is also
+    /// scheduled so the outage cannot outlive its day (see
+    /// [`World::lift_expired_faults`]). This is the mechanism behind the
+    /// Figure-1 dip: on 2021-03-22 the `.ru` TLD servers go dark, sweeps
+    /// that day mostly time out, and the next day's sweep recovers.
+    fn install_infra_fault(&mut self, fault: InfraFault, date: Date) {
+        let addr = match fault.target {
+            FaultTarget::RuTldServers => self.ripn_ip,
+            FaultTarget::Root => self.root_ip,
+            FaultTarget::GtldServers => self.gtld_ip,
+        };
+        let now = self.net.now();
+        let end = SimTime(
+            now.as_micros()
+                .saturating_add(u64::from(fault.duration_hours) * 3_600_000_000),
+        );
+        self.net.faults_mut().add_server_fault(ServerFault {
+            addr,
+            port: Some(DNS_PORT),
+            mode: ServerFaultMode::Outage,
+            window: FaultWindow::between(now, end),
+        });
+        // Lift on the first day after the outage's calendar span.
+        let span_days = fault.duration_hours.div_ceil(24).max(1) as i32;
+        self.fault_clears
+            .entry(date.add_days(span_days))
+            .or_default()
+            .push((addr, DNS_PORT));
+    }
+
+    /// Remove infrastructure faults whose calendar span ended by `date`,
+    /// plus any whose virtual-time window has elapsed.
+    fn lift_expired_faults(&mut self, date: Date) {
+        let due: Vec<Date> = self
+            .fault_clears
+            .range(..=date)
+            .map(|(d, _)| *d)
+            .collect();
+        for d in due {
+            if let Some(targets) = self.fault_clears.remove(&d) {
+                for (addr, port) in targets {
+                    self.net.faults_mut().remove_server_faults(addr, Some(port));
+                }
+            }
+        }
+        let now = self.net.now();
+        self.net.faults_mut().clear_expired(now);
     }
 
     /// §3.2/§3.3: Netnod's 2022-03-03 event.
@@ -1171,6 +1258,22 @@ impl World {
         for name in members.into_iter().take(take) {
             self.move_hosting(&name, pid::GOOGLE_CLOUD);
         }
+    }
+
+    /// Whether `ca` refuses sanctioned customers as of `date`: true once
+    /// its timeline revoke-all-sanctioned event has fired (Table 2's 100%
+    /// revocation rows stay at 100% only if no re-issuance follows).
+    fn refuses_sanctioned(&self, ca: CaId, date: Date) -> bool {
+        let cutoff = match ca {
+            caid::DIGICERT => self
+                .timeline
+                .date_of(ConflictEvent::DigicertSanctionedRevocation),
+            caid::SECTIGO => self
+                .timeline
+                .date_of(ConflictEvent::SectigoSanctionedRevocation),
+            _ => None,
+        };
+        cutoff.is_some_and(|d| date >= d)
     }
 
     fn revoke_all_sanctioned(&mut self, ca: CaId, date: Date) {
@@ -1593,7 +1696,7 @@ impl World {
                     .child_idx(i as u64)
                     .child_idx(date.days_since_epoch() as u64)
                     .seed();
-                if h % 11 == 0 {
+                if h.is_multiple_of(11) {
                     n = 1;
                     leak_brand = true;
                 }
@@ -1602,6 +1705,17 @@ impl World {
                 let Some(name) = self.tls_pool.sample(&mut self.rng).cloned() else {
                     break;
                 };
+                // Sanctions compliance: once a CA has executed its
+                // revoke-all event it never issues to a sanctioned entity
+                // again (DigiCert revoked VTB's certificate *and* cut the
+                // entity off; it did not re-issue the next week). The slot
+                // is dropped rather than resampled — the volume loss is
+                // one draw out of thousands.
+                if self.refuses_sanctioned(CaId(i as u16), date)
+                    && self.domains.get(&name).is_some_and(|d| d.sanctioned)
+                {
+                    continue;
+                }
                 let brand = if leak_brand {
                     1 + (self.rng.random_range(0..self.ca_specs[i].brands.len().max(2) - 1))
                 } else {
@@ -1655,7 +1769,7 @@ impl World {
             let stopped = self.ca_specs[ca.0 as usize]
                 .stop_date
                 .is_some_and(|d| date >= d);
-            if stopped {
+            if stopped || self.refuses_sanctioned(ca, date) {
                 continue;
             }
             let brand = self.rng.random_range(0..self.ca_specs[ca.0 as usize].brands.len().max(1));

@@ -45,6 +45,9 @@ fn main() {
                 println!(";; <- referral below {cut} ({glue} glue, {rejected_glue} rejected)")
             }
             TraceEvent::Timeout { server } => println!(";; !! timeout from {server}"),
+            TraceEvent::ServFail { server } => println!(";; !! SERVFAIL from {server}"),
+            TraceEvent::Lame { server } => println!(";; !! lame answer from {server}"),
+            TraceEvent::Truncated { server } => println!(";; !! truncated reply from {server}"),
             TraceEvent::Cname { target } => println!(";; <- CNAME chase to {target}"),
             TraceEvent::Done { outcome } => println!(";; == {outcome}"),
         }

@@ -1,0 +1,192 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness,
+//! `Criterion`/`BenchmarkGroup`/`Bencher` with `bench_function`,
+//! `sample_size`, `throughput`, and `black_box`. Measurement is
+//! deliberately simple: each benchmark takes `sample_size` timed samples
+//! of one iteration each and reports min/median/mean to stderr. No
+//! statistical analysis, HTML reports, or baseline comparison — enough
+//! to keep `cargo bench` runnable and the timings comparable run-to-run
+//! on one machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `sample_size` samples (plus one warmup).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / lazy-init
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        eprintln!("bench {name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let secs = median.as_secs_f64().max(1e-12);
+            format!("  {:>10.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            let secs = median.as_secs_f64().max(1e-12);
+            format!("  {:>10.0} elem/s", n as f64 / secs)
+        }
+        None => String::new(),
+    };
+    eprintln!(
+        "bench {name:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{rate}"
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &mut b.samples, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput (reported alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        report(&full, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Define `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+
+    criterion_group!(shim_benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        shim_benches();
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with crossbeam's closure signature
+//! (`spawn` passes the scope back into the closure), implemented over
+//! `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; `spawn` re-borrows it so spawned closures can
+    /// themselves spawn (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; join to collect its result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope,
+        /// matching crossbeam (callers commonly ignore it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrow = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&reborrow)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. crossbeam returns `Err` if a *detached* (never-joined)
+    /// child panicked; with std's scope an unjoined panic propagates as a
+    /// panic instead, so the `Ok` arm is the only one constructed here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let xs = vec![1, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let a = s.spawn(|_| xs.iter().sum::<i32>());
+            let b = s.spawn(|_| 10);
+            a.join().expect("a") + b.join().expect("b")
+        })
+        .expect("scope");
+        assert_eq!(sum, 16);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            let outer = s.spawn(|inner_scope| {
+                let h = inner_scope.spawn(|_| 21);
+                h.join().expect("inner") * 2
+            });
+            outer.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,830 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! reimplements the proptest API surface the workspace's property tests
+//! rely on: the `proptest!`/`prop_compose!`/`prop_oneof!` macros, the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, `any::<T>()`,
+//! range and tuple and `Vec` strategies, `collection::vec`,
+//! `string::string_regex` (a small regex *generator*), and
+//! `sample::Index`.
+//!
+//! Differences from real proptest, deliberate:
+//! - **No shrinking.** A failing case panics with its generated inputs
+//!   via the normal assert message; it is not minimized.
+//! - **Deterministic seeding.** Cases derive from a hash of the test's
+//!   module path + name + case number, so failures reproduce exactly on
+//!   re-run (there is no `proptest-regressions` persistence).
+//! - `prop_assert*` are plain `assert*` (they panic instead of returning
+//!   an error value); `prop_assume!` rejects the case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// Why a test case ended without a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+}
+
+/// Per-test configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps heavier simulation
+        // tests fast while still exercising a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic machinery behind the `proptest!` macro.
+pub mod test_runner {
+    use super::*;
+
+    /// RNG for one case of one test: pure function of test name + case.
+    pub fn case_rng(test_path: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= case as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.gen_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Integer types usable in open-ended (`lo..`) range strategies.
+pub trait UpperBounded: Copy {
+    /// The type's maximum value.
+    const MAX_VALUE: Self;
+}
+
+macro_rules! impl_upper_bounded {
+    ($($t:ty),*) => {$(
+        impl UpperBounded for $t {
+            const MAX_VALUE: $t = <$t>::MAX;
+        }
+    )*};
+}
+impl_upper_bounded!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UpperBounded> Strategy for core::ops::RangeFrom<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.start..=T::MAX_VALUE)
+    }
+}
+
+/// A string literal is a regex generator (proptest's signature feature).
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e:?}"))
+            .gen_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+
+/// A `Vec` of strategies generates element-wise (used to build a record
+/// per index, then collect).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.gen_value(rng)).collect()
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full value range for primitives).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy generating any value of a primitive type.
+pub struct AnyPrim<T>(core::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for AnyPrim<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy generating a random `[u8; N]`.
+pub struct AnyByteArray<const N: usize>;
+
+impl<const N: usize> Strategy for AnyByteArray<N> {
+    type Value = [u8; N];
+    fn gen_value(&self, rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.random();
+        }
+        out
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = AnyByteArray<N>;
+    fn arbitrary() -> Self::Strategy {
+        AnyByteArray
+    }
+}
+
+/// Strategy combinators that need a home for macro expansion.
+pub mod strategy {
+    use super::*;
+
+    /// One boxed arm of a [`Union`].
+    pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Box a strategy into a union arm (used by `prop_oneof!`).
+    pub fn union_arm<S: Strategy + 'static>(s: S) -> UnionArm<S::Value> {
+        Box::new(move |rng| s.gen_value(rng))
+    }
+
+    /// Uniform choice between heterogeneous strategies with one value type.
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_range(0..self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::*;
+
+    /// An index into a not-yet-known-length collection: draws a raw
+    /// value up front, maps into `0..len` on demand.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map into `0..len` (panics if `len == 0`, like proptest).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy generating [`Index`].
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+        fn gen_value(&self, rng: &mut TestRng) -> Index {
+            Index(rng.random())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+        fn arbitrary() -> Self::Strategy {
+            AnyIndex
+        }
+    }
+}
+
+/// String strategies: a small regex *generator*.
+pub mod string {
+    use super::*;
+
+    /// Regex pattern rejected by the generator's parser.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(char),
+        /// Inclusive char ranges, e.g. `[a-zа-я0-9-]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any non-control character (printable ASCII + a spread
+        /// of non-ASCII codepoints).
+        NotControl,
+        Group(Vec<Quantified>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Strategy generating strings matching a regex subset: literals,
+    /// char classes with ranges, groups, `?`, `*`, `+`, `{n}`, `{m,n}`,
+    /// and `\PC`. Unbounded quantifiers are capped at 8 repeats.
+    pub struct RegexStrategy {
+        seq: Vec<Quantified>,
+    }
+
+    /// Compile `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.reverse(); // pop() from the front
+        let seq = parse_seq(&mut chars, false)?;
+        if !chars.is_empty() {
+            return Err(Error(format!("trailing input in regex {pattern:?}")));
+        }
+        Ok(RegexStrategy { seq })
+    }
+
+    const UNBOUNDED_CAP: u32 = 8;
+
+    fn parse_seq(input: &mut Vec<char>, in_group: bool) -> Result<Vec<Quantified>, Error> {
+        let mut out = Vec::new();
+        while let Some(&c) = input.last() {
+            if c == ')' {
+                if in_group {
+                    return Ok(out);
+                }
+                return Err(Error("unmatched ')'".into()));
+            }
+            input.pop();
+            let node = match c {
+                '(' => {
+                    let inner = parse_seq(input, true)?;
+                    if input.pop() != Some(')') {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    Node::Group(inner)
+                }
+                '[' => Node::Class(parse_class(input)?),
+                '\\' => match input.pop() {
+                    Some('P') => {
+                        // \P<letter>: negated one-letter category. Only
+                        // \PC (non-control) appears in this workspace.
+                        match input.pop() {
+                            Some('C') => Node::NotControl,
+                            other => {
+                                return Err(Error(format!(
+                                    "unsupported category escape \\P{other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Some(esc) => Node::Lit(esc),
+                    None => return Err(Error("dangling backslash".into())),
+                },
+                '?' | '*' | '+' | '{' => {
+                    return Err(Error(format!("dangling quantifier {c:?}")));
+                }
+                lit => Node::Lit(lit),
+            };
+            let (min, max) = parse_quantifier(input)?;
+            out.push(Quantified { node, min, max });
+        }
+        if in_group {
+            return Err(Error("unclosed group".into()));
+        }
+        Ok(out)
+    }
+
+    fn parse_quantifier(input: &mut Vec<char>) -> Result<(u32, u32), Error> {
+        match input.last() {
+            Some('?') => {
+                input.pop();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                input.pop();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                input.pop();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                input.pop();
+                let mut body = String::new();
+                loop {
+                    match input.pop() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => return Err(Error("unclosed {…} quantifier".into())),
+                    }
+                }
+                let parse_n = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad repeat count {s:?}")))
+                };
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let min = parse_n(lo)?;
+                    let max = if hi.trim().is_empty() {
+                        min + UNBOUNDED_CAP
+                    } else {
+                        parse_n(hi)?
+                    };
+                    if max < min {
+                        return Err(Error(format!("inverted repeat {body:?}")));
+                    }
+                    Ok((min, max))
+                } else {
+                    let n = parse_n(&body)?;
+                    Ok((n, n))
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn parse_class(input: &mut Vec<char>) -> Result<Vec<(char, char)>, Error> {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = input.pop().ok_or_else(|| Error("unclosed class".into()))?;
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    return Ok(ranges);
+                }
+                '-' => {
+                    // Range if we have a start and a following end char;
+                    // otherwise a literal dash (leading/trailing).
+                    match (pending.take(), input.last()) {
+                        (Some(start), Some(&end)) if end != ']' => {
+                            input.pop();
+                            if (end as u32) < (start as u32) {
+                                return Err(Error(format!("inverted range {start}-{end}")));
+                            }
+                            ranges.push((start, end));
+                        }
+                        (start, _) => {
+                            if let Some(s) = start {
+                                ranges.push((s, s));
+                            }
+                            ranges.push(('-', '-'));
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = input.pop().ok_or_else(|| Error("dangling backslash".into()))?;
+                    if let Some(p) = pending.replace(esc) {
+                        ranges.push((p, p));
+                    }
+                }
+                lit => {
+                    if let Some(p) = pending.replace(lit) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn gen_class(ranges: &[(char, char)], rng: &mut TestRng, out: &mut String) {
+        let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+        let mut pick = rng.random_range(0..total);
+        for (a, b) in ranges {
+            let span = *b as u32 - *a as u32 + 1;
+            if pick < span {
+                // Skip the surrogate gap; ranges in this workspace never
+                // straddle it, but be safe.
+                let cp = *a as u32 + pick;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                return;
+            }
+            pick -= span;
+        }
+        unreachable!("class pick out of bounds");
+    }
+
+    fn gen_node(q: &Quantified, rng: &mut TestRng, out: &mut String) {
+        let reps = rng.random_range(q.min..=q.max);
+        for _ in 0..reps {
+            match &q.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => gen_class(ranges, rng, out),
+                Node::NotControl => {
+                    // Mostly printable ASCII, occasionally higher planes.
+                    if rng.random_bool(0.8) {
+                        out.push(char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap());
+                    } else {
+                        let cp = rng.random_range(0xA0u32..0x2FFF);
+                        out.push(char::from_u32(cp).unwrap_or('я'));
+                    }
+                }
+                Node::Group(inner) => {
+                    for part in inner {
+                        gen_node(part, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for q in &self.seq {
+                gen_node(q, rng, &mut out);
+            }
+            out
+        }
+    }
+}
+
+/// Run property tests over generated inputs.
+///
+/// Supports an optional leading `#![proptest_config(...)]` and any
+/// number of `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $( let $arg = $crate::Strategy::gen_value(&($strat), &mut __rng); )*
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                }
+            }
+        }
+    )*};
+}
+
+/// Define a function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($argn:ident : $argt:ty),* $(,)?)
+        ($($bind:ident in $strat:expr),* $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($bind,)*)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test file typically imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, sample, string, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::case_rng;
+    use crate::Strategy;
+
+    #[test]
+    fn regex_generates_matching_strings() {
+        let mut rng = case_rng("shim::regex", 0);
+        let strat = crate::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap();
+        for _ in 0..200 {
+            let s = strat.gen_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16, "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "bad edge: {s:?}");
+        }
+        let cyr = crate::string::string_regex("[а-яё]{1,20}").unwrap();
+        for _ in 0..50 {
+            let s = cyr.gen_value(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=20).contains(&n));
+            assert!(s.chars().all(|c| ('а'..='я').contains(&c) || c == 'ё'), "{s:?}");
+        }
+        let nc = crate::string::string_regex("\\PC{0,60}").unwrap();
+        for _ in 0..50 {
+            let s = nc.gen_value(&mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec((0u32..512, any::<bool>()), 1..25);
+        let a = strat.gen_value(&mut case_rng("shim::det", 3));
+        let b = strat.gen_value(&mut case_rng("shim::det", 3));
+        let c = strat.gen_value(&mut case_rng("shim::det", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    prop_compose! {
+        fn arb_pair(base: u32)(lo in 0u32..50, hi in 50u32..100) -> (u32, u32) {
+            (base + lo, base + hi)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(
+            v in crate::collection::vec(0i32..100, 1..10),
+            pair in arb_pair(1000),
+            pick in any::<crate::sample::Index>(),
+            tag in prop_oneof![Just("a"), Just("b")],
+        ) {
+            prop_assume!(!v.is_empty());
+            let x = v[pick.index(v.len())];
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(pair.0 < pair.1, "pair ordered: {:?}", pair);
+            prop_assert_ne!(tag, "c");
+            prop_assert_eq!(tag.len(), 1);
+        }
+    }
+}

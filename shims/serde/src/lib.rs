@@ -1,0 +1,21 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Nothing in the tree actually serializes (no serde_json etc.); the
+//! derives on model types document intent. `Serialize`/`Deserialize`
+//! here are marker traits with blanket impls, and the re-exported
+//! derives (from the sibling `serde_derive` shim) are inert. Swapping in
+//! the real serde later requires no source changes outside Cargo.toml.
+
+/// Marker for "can be serialized". Blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "can be deserialized". Blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for "deserializable without borrowing". Blanket-implemented.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

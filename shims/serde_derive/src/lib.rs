@@ -1,0 +1,24 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types but
+//! never serializes anything (there is no serde_json or similar in the
+//! tree) — the derives only document intent and keep the door open for a
+//! real serde later. These inert derives emit no code; they exist so the
+//! `#[derive(...)]` and `#[serde(...)]` attributes parse. The matching
+//! `serde` shim provides blanket trait impls, so bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`; registers `#[serde(...)]` as a known
+/// helper attribute and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`; registers `#[serde(...)]` as a known
+/// helper attribute and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

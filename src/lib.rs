@@ -50,5 +50,5 @@ pub mod prelude {
         Asn, Country, Date, DomainName, Period, SeedTree, CONFLICT_START, SANCTIONS_EFFECT,
         STUDY_END, STUDY_START,
     };
-    pub use ruwhere_world::{World, WorldConfig};
+    pub use ruwhere_world::{ConflictEvent, FaultTarget, InfraFault, World, WorldConfig};
 }

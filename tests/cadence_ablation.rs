@@ -59,19 +59,33 @@ fn weekly_cadence_only_brackets_the_event() {
 
 #[test]
 fn outage_produces_the_figure1_dip() {
+    // End-to-end mechanistic reproduction of the Figure-1 outage dip
+    // (footnote 8): a timeline `InfrastructureFault` takes the `.ru` TLD
+    // servers down at the network layer, the day's sweep mostly times out
+    // and is salvaged as a partial sweep, the composition series dips, and
+    // the next day's sweep recovers once the fault is lifted. No analysis
+    // layer ever edits its own output.
     let mut world = WorldConfig::tiny();
     world.end = Date::from_ymd(2022, 2, 1);
     let start = world.start;
+    let outage = Date::from_ymd(2022, 1, 15);
+    world.extra_events.push((
+        outage,
+        ConflictEvent::InfrastructureFault(InfraFault {
+            target: FaultTarget::RuTldServers,
+            duration_hours: 20,
+        }),
+    ));
     let mut cfg = StudyConfig::paper_schedule(world);
     cfg.daily_from = start;
-    let outage = Date::from_ymd(2022, 1, 15);
-    cfg.outages = vec![outage];
     let r = run_study(&cfg);
 
     let total = |d: Date| r.ns_composition.at(d).unwrap().total();
     let day_before = total(outage.pred());
     let day_of = total(outage);
     let day_after = total(outage.succ());
+    // Quoted in EXPERIMENTS.md; run with `--nocapture` to see them.
+    println!("figure-1 dip: {day_before} → {day_of} → {day_after} records");
     assert!(
         day_of < day_before / 2,
         "outage day must lose most records: {day_before} → {day_of}"
@@ -80,4 +94,11 @@ fn outage_produces_the_figure1_dip() {
         day_after > day_before * 9 / 10,
         "the dataset recovers the next day: {day_after} vs {day_before}"
     );
+    // The dip is a flagged measurement gap, not real domain deletion:
+    // the series knows the day was partial and can impute across it.
+    assert!(r.ns_composition.is_partial_day(outage));
+    assert!(!r.ns_composition.is_partial_day(outage.pred()));
+    let (imputed, flagged) = r.ns_composition.imputed_at(outage, 7).unwrap();
+    assert!(flagged);
+    assert_eq!(imputed.total(), day_before);
 }
