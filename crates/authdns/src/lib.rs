@@ -24,6 +24,7 @@ pub mod resolver;
 pub mod server;
 
 pub use resolver::{
-    IterativeResolver, Resolution, ResolveError, ResolverStats, RootHint, TraceEvent,
+    IterativeResolver, NoDependencyCache, NsDependencyCache, Resolution, ResolveError,
+    ResolverStats, RootHint, TraceEvent,
 };
 pub use server::{AuthServer, ServerBehavior, SharedZoneSet, ZoneSet};

@@ -11,7 +11,7 @@
 //! failure causes instead of lumping everything into "timeout".
 
 use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record};
-use ruwhere_netsim::{Network, SimTime};
+use ruwhere_netsim::{SimTime, Transport};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -214,6 +214,33 @@ impl Default for ServerHealth {
     }
 }
 
+/// Hook for centrally shared NS-target address resolution.
+///
+/// While chasing a referral the resolver must learn the addresses of
+/// out-of-bailiwick NS targets (no usable glue). In a sweep those targets
+/// — hoster name servers — are shared by thousands of domains, so the
+/// parallel engine routes the lookups through a sweep-wide read-through
+/// cache: each target resolves exactly once per sweep, on its own
+/// deterministic measurement lane, no matter which worker needs it first.
+/// This trait is the seam; the resolver stays ignorant of lanes and
+/// worker pools.
+pub trait NsDependencyCache {
+    /// Addresses for NS target `name`, served or computed centrally.
+    /// `Some(vec![])` means "centrally resolved to nothing" (do not retry
+    /// inline); `None` delegates back to inline resolution.
+    fn ns_target_a(&self, name: &Name) -> Option<Vec<Ipv4Addr>>;
+}
+
+/// The no-op hook: every dependency resolves inline, as a stand-alone
+/// resolver would.
+pub struct NoDependencyCache;
+
+impl NsDependencyCache for NoDependencyCache {
+    fn ns_target_a(&self, _name: &Name) -> Option<Vec<Ipv4Addr>> {
+        None
+    }
+}
+
 /// An iterative resolver bound to a client address.
 ///
 /// Caches positive/negative answers and zone-cut server addresses for the
@@ -325,16 +352,95 @@ impl IterativeResolver {
         self.health.clear();
     }
 
-    /// Resolve `name`/`rtype`, driving the simulated network.
-    pub fn resolve(
+    /// Seed the zone-cut cache: start resolutions at or below `cut` from
+    /// `addrs` instead of the roots.
+    ///
+    /// Resolving a TLD's NS RRset yields the server *names* as a direct
+    /// answer — the referral branch that fills the cut cache never runs —
+    /// so a warmup that wants every subsequent resolution to start at the
+    /// TLD (with the full server set, not just the root's first glue
+    /// record) must plant the cut explicitly. No-op for empty `addrs`.
+    pub fn seed_cut(&mut self, cut: Name, addrs: Vec<Ipv4Addr>) {
+        if !addrs.is_empty() {
+            self.cut_cache.insert(cut, addrs);
+        }
+    }
+
+    /// A worker-scoped copy of this resolver: same configuration and a
+    /// *snapshot* of the current caches and learned SRTT estimates, with
+    /// all counters zeroed, transient penalty-box state dropped, and no
+    /// trace.
+    ///
+    /// The parallel sweep engine forks one resolver per domain from a
+    /// warmup-primed prototype, so every domain starts its resolution from
+    /// an identical, sharding-independent state — the core of the
+    /// N-workers ≡ 1-worker determinism contract. Counter diffs of a fork
+    /// are exactly that domain's measurement cost.
+    ///
+    /// Penalty boxes are reset (not copied) because every fork's lane
+    /// restarts at the sweep base instant: a penalty the prototype picked
+    /// up during warmup would never expire from any lane's point of view,
+    /// turning one unlucky warmup timeout into a sweep-wide `attempts=1`
+    /// degradation. SRTT survives — it is a rate estimate, not backoff
+    /// state — so server ordering stays warm.
+    pub fn fork(&self) -> IterativeResolver {
+        let health = self
+            .health
+            .iter()
+            .map(|(&ip, h)| {
+                (
+                    ip,
+                    ServerHealth {
+                        srtt_us: h.srtt_us,
+                        fails: 0,
+                        penalized_until: SimTime::ZERO,
+                    },
+                )
+            })
+            .collect();
+        IterativeResolver {
+            client_ip: self.client_ip,
+            roots: self.roots.clone(),
+            query_budget: self.query_budget,
+            retry_budget: self.retry_budget,
+            timeout_us: self.timeout_us,
+            attempts: self.attempts,
+            penalty_box_enabled: self.penalty_box_enabled,
+            next_id: self.next_id,
+            answer_cache: self.answer_cache.clone(),
+            cut_cache: self.cut_cache.clone(),
+            health,
+            queries_sent: 0,
+            stats: ResolverStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Resolve `name`/`rtype`, driving the simulated network (either the
+    /// serial [`ruwhere_netsim::Network`] or a per-worker
+    /// [`ruwhere_netsim::Lane`]).
+    pub fn resolve<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         name: &Name,
         rtype: RType,
     ) -> Result<Resolution, ResolveError> {
+        self.resolve_with_cache(net, name, rtype, &NoDependencyCache)
+    }
+
+    /// [`resolve`](Self::resolve), with NS-target dependency lookups routed
+    /// through `deps` (the parallel sweep engine's shared read-through
+    /// cache).
+    pub fn resolve_with_cache<T: Transport>(
+        &mut self,
+        net: &mut T,
+        name: &Name,
+        rtype: RType,
+        deps: &dyn NsDependencyCache,
+    ) -> Result<Resolution, ResolveError> {
         let mut budget = self.query_budget;
         let mut retries = self.retry_budget;
-        let result = self.resolve_inner(net, name, rtype, &mut budget, &mut retries, 0);
+        let result = self.resolve_inner(net, name, rtype, &mut budget, &mut retries, 0, deps);
         let outcome = match &result {
             Ok(Resolution::Records(r)) => format!("answer ({} records)", r.len()),
             Ok(Resolution::NxDomain) => "NXDOMAIN".to_owned(),
@@ -345,14 +451,16 @@ impl IterativeResolver {
         result
     }
 
-    fn resolve_inner(
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_inner<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         name: &Name,
         rtype: RType,
         budget: &mut u32,
         retries: &mut u32,
         depth: u32,
+        deps: &dyn NsDependencyCache,
     ) -> Result<Resolution, ResolveError> {
         if depth > 6 {
             return Err(ResolveError::BudgetExhausted);
@@ -360,7 +468,7 @@ impl IterativeResolver {
         if let Some(cached) = self.answer_cache.get(&(name.clone(), rtype)) {
             return cached.clone();
         }
-        let result = self.resolve_uncached(net, name, rtype, budget, retries, depth);
+        let result = self.resolve_uncached(net, name, rtype, budget, retries, depth, deps);
         // Cache everything except transient failures: timeouts and
         // SERVFAILs may clear within the sweep, and budget exhaustion is a
         // property of this call's budget, not of the name.
@@ -368,7 +476,8 @@ impl IterativeResolver {
             result,
             Err(ResolveError::Timeout | ResolveError::ServFail | ResolveError::BudgetExhausted)
         ) {
-            self.answer_cache.insert((name.clone(), rtype), result.clone());
+            self.answer_cache
+                .insert((name.clone(), rtype), result.clone());
         }
         result
     }
@@ -417,9 +526,9 @@ impl IterativeResolver {
         h.penalized_until = now.plus_us(PENALTY_BASE_US << shift);
     }
 
-    fn send_query(
+    fn send_query<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         server: Ipv4Addr,
         name: &Name,
         rtype: RType,
@@ -449,7 +558,13 @@ impl IterativeResolver {
                 .is_some_and(|h| h.penalized_until > net.now());
         let attempts = if penalized { 1 } else { self.attempts };
         let t0 = net.now();
-        match net.request(self.client_ip, (server, 53), &bytes, self.timeout_us, attempts) {
+        match net.request(
+            self.client_ip,
+            (server, 53),
+            &bytes,
+            self.timeout_us,
+            attempts,
+        ) {
             Err(_) => {
                 self.stats.timeouts += 1;
                 self.note_failure(server, net.now());
@@ -503,14 +618,16 @@ impl IterativeResolver {
         }
     }
 
-    fn resolve_uncached(
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_uncached<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         qname: &Name,
         rtype: RType,
         budget: &mut u32,
         retries: &mut u32,
         depth: u32,
+        deps: &dyn NsDependencyCache,
     ) -> Result<Resolution, ResolveError> {
         let mut current_name = qname.clone();
         let mut chain: Vec<Record> = Vec::new();
@@ -565,10 +682,7 @@ impl IterativeResolver {
 
             // Positive answer?
             if !msg.answers.is_empty() {
-                let has_final = msg
-                    .answers
-                    .iter()
-                    .any(|r| r.data.rtype() == rtype);
+                let has_final = msg.answers.iter().any(|r| r.data.rtype() == rtype);
                 chain.extend(msg.answers.iter().cloned());
                 if has_final {
                     return Ok(Resolution::Records(chain));
@@ -623,10 +737,14 @@ impl IterativeResolver {
                 }
                 let glue_accepted = addrs.len();
                 if addrs.is_empty() {
-                    // Out-of-bailiwick NS: resolve their addresses.
+                    // Out-of-bailiwick NS: resolve their addresses —
+                    // centrally through the dependency cache when the
+                    // engine provides one, inline otherwise.
                     for t in &targets {
-                        if let Ok(res) =
-                            self.resolve_inner(net, t, RType::A, budget, retries, depth + 1)
+                        if let Some(shared) = deps.ns_target_a(t) {
+                            addrs.extend(shared);
+                        } else if let Ok(res) =
+                            self.resolve_inner(net, t, RType::A, budget, retries, depth + 1, deps)
                         {
                             addrs.extend(res.addresses());
                         }
@@ -666,7 +784,7 @@ mod tests {
     use crate::server::{shared_zones, AuthServer, ServerBehavior};
     use ruwhere_dns::{RData, Record, SoaData, Zone};
     use ruwhere_netsim::fault::{FaultWindow, ServerFault, ServerFaultMode};
-    use ruwhere_netsim::{AsInfo, Topology};
+    use ruwhere_netsim::{AsInfo, Network, Topology};
     use ruwhere_types::{Asn, Country, SeedTree};
 
     fn name(s: &str) -> Name {
@@ -705,7 +823,11 @@ mod tests {
             (Asn(4), "RU-HOSTER", Country::RU),
             (Asn(5), "SCANNER", Country::NL),
         ] {
-            topo.add_as(AsInfo { asn, org: org.into(), country: cc });
+            topo.add_as(AsInfo {
+                asn,
+                org: org.into(),
+                country: cc,
+            });
         }
         topo.announce("198.41.0.0/24".parse().unwrap(), Asn(1));
         topo.announce("193.232.128.0/24".parse().unwrap(), Asn(2));
@@ -716,44 +838,109 @@ mod tests {
 
         // Root zone.
         let mut root = Zone::new(Name::root(), soa("a.root-servers.net"), 86400);
-        root.add(Record::new(name("ru"), 86400, RData::Ns(name("a.dns.ripn.net"))));
-        root.add(Record::new(name("a.dns.ripn.net"), 86400, RData::A(RU_TLD_IP)));
-        root.add(Record::new(name("com"), 86400, RData::Ns(name("a.gtld-servers.net"))));
-        root.add(Record::new(name("a.gtld-servers.net"), 86400, RData::A(COM_TLD_IP)));
+        root.add(Record::new(
+            name("ru"),
+            86400,
+            RData::Ns(name("a.dns.ripn.net")),
+        ));
+        root.add(Record::new(
+            name("a.dns.ripn.net"),
+            86400,
+            RData::A(RU_TLD_IP),
+        ));
+        root.add(Record::new(
+            name("com"),
+            86400,
+            RData::Ns(name("a.gtld-servers.net")),
+        ));
+        root.add(Record::new(
+            name("a.gtld-servers.net"),
+            86400,
+            RData::A(COM_TLD_IP),
+        ));
         net.bind(ROOT_IP, 53, Box::new(AuthServer::new(shared_zones([root]))));
 
         // .ru TLD zone: delegation for example.ru + glue for in-bailiwick NS.
         let mut ru = Zone::new(name("ru"), soa("a.dns.ripn.net"), 86400);
-        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
-        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns2.hoster.com"))));
-        ru.add(Record::new(name("hoster.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
-        ru.add(Record::new(name("ns1.hoster.ru"), 3600, RData::A(HOSTER_DNS_IP)));
+        ru.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        ru.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns2.hoster.com")),
+        ));
+        ru.add(Record::new(
+            name("hoster.ru"),
+            3600,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        ru.add(Record::new(
+            name("ns1.hoster.ru"),
+            3600,
+            RData::A(HOSTER_DNS_IP),
+        ));
         net.bind(RU_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([ru]))));
 
         // .com TLD zone: delegation for hoster.com.
         let mut com = Zone::new(name("com"), soa("a.gtld-servers.net"), 86400);
-        com.add(Record::new(name("hoster.com"), 3600, RData::Ns(name("ns1.hoster.ru"))));
-        net.bind(COM_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([com]))));
+        com.add(Record::new(
+            name("hoster.com"),
+            3600,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        net.bind(
+            COM_TLD_IP,
+            53,
+            Box::new(AuthServer::new(shared_zones([com]))),
+        );
 
         // The hosting operator serves example.ru, hoster.ru AND hoster.com.
         let mut example = Zone::new(name("example.ru"), soa("ns1.hoster.ru"), 3600);
         example.add(Record::new(name("example.ru"), 300, RData::A(WEB_IP)));
-        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.hoster.ru"))));
-        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns2.hoster.com"))));
-        example.add(Record::new(name("www.example.ru"), 300, RData::Cname(name("example.ru"))));
+        example.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        example.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::Ns(name("ns2.hoster.com")),
+        ));
+        example.add(Record::new(
+            name("www.example.ru"),
+            300,
+            RData::Cname(name("example.ru")),
+        ));
         let mut hoster_ru = Zone::new(name("hoster.ru"), soa("ns1.hoster.ru"), 3600);
-        hoster_ru.add(Record::new(name("ns1.hoster.ru"), 300, RData::A(HOSTER_DNS_IP)));
+        hoster_ru.add(Record::new(
+            name("ns1.hoster.ru"),
+            300,
+            RData::A(HOSTER_DNS_IP),
+        ));
         let mut hoster_com = Zone::new(name("hoster.com"), soa("ns1.hoster.ru"), 3600);
-        hoster_com.add(Record::new(name("ns2.hoster.com"), 300, RData::A(HOSTER_DNS_IP)));
+        hoster_com.add(Record::new(
+            name("ns2.hoster.com"),
+            300,
+            RData::A(HOSTER_DNS_IP),
+        ));
         net.bind(
             HOSTER_DNS_IP,
             53,
-            Box::new(AuthServer::new(shared_zones([example, hoster_ru, hoster_com]))),
+            Box::new(AuthServer::new(shared_zones([
+                example, hoster_ru, hoster_com,
+            ]))),
         );
 
         let resolver = IterativeResolver::new(
             CLIENT_IP,
-            vec![RootHint { name: name("a.root-servers.net"), addr: ROOT_IP }],
+            vec![RootHint {
+                name: name("a.root-servers.net"),
+                addr: ROOT_IP,
+            }],
         );
         (net, resolver)
     }
@@ -770,16 +957,40 @@ mod tests {
         let (mut net, resolver) = build_world();
         // Give example.ru a second, glued, in-bailiwick NS.
         let mut ru = Zone::new(name("ru"), soa("a.dns.ripn.net"), 86400);
-        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))));
-        ru.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns3.hoster.ru"))));
-        ru.add(Record::new(name("ns1.hoster.ru"), 3600, RData::A(HOSTER_DNS_IP)));
-        ru.add(Record::new(name("ns3.hoster.ru"), 3600, RData::A(HOSTER_DNS2_IP)));
+        ru.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        ru.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns3.hoster.ru")),
+        ));
+        ru.add(Record::new(
+            name("ns1.hoster.ru"),
+            3600,
+            RData::A(HOSTER_DNS_IP),
+        ));
+        ru.add(Record::new(
+            name("ns3.hoster.ru"),
+            3600,
+            RData::A(HOSTER_DNS2_IP),
+        ));
         net.bind(RU_TLD_IP, 53, Box::new(AuthServer::new(shared_zones([ru]))));
 
         let mut example = Zone::new(name("example.ru"), soa("ns1.hoster.ru"), 3600);
         example.add(Record::new(name("example.ru"), 300, RData::A(WEB_IP)));
-        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.hoster.ru"))));
-        example.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns3.hoster.ru"))));
+        example.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::Ns(name("ns1.hoster.ru")),
+        ));
+        example.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::Ns(name("ns3.hoster.ru")),
+        ));
         let srv2 = AuthServer::new(shared_zones([example]));
         let handle = srv2.behavior_handle();
         net.bind(HOSTER_DNS2_IP, 53, Box::new(srv2));
@@ -805,7 +1016,9 @@ mod tests {
     #[test]
     fn cname_chase() {
         let (mut net, mut r) = build_world();
-        let res = r.resolve(&mut net, &name("www.example.ru"), RType::A).unwrap();
+        let res = r
+            .resolve(&mut net, &name("www.example.ru"), RType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![WEB_IP]);
         if let Resolution::Records(recs) = &res {
             assert!(recs.iter().any(|rec| rec.data.rtype() == RType::Cname));
@@ -816,7 +1029,8 @@ mod tests {
     fn nxdomain_and_nodata() {
         let (mut net, mut r) = build_world();
         assert_eq!(
-            r.resolve(&mut net, &name("missing.example.ru"), RType::A).unwrap(),
+            r.resolve(&mut net, &name("missing.example.ru"), RType::A)
+                .unwrap(),
             Resolution::NxDomain
         );
         assert_eq!(
@@ -824,7 +1038,8 @@ mod tests {
             Resolution::NoData
         );
         assert_eq!(
-            r.resolve(&mut net, &name("unregistered.ru"), RType::A).unwrap(),
+            r.resolve(&mut net, &name("unregistered.ru"), RType::A)
+                .unwrap(),
             Resolution::NxDomain
         );
     }
@@ -833,7 +1048,9 @@ mod tests {
     fn out_of_bailiwick_ns_resolved_via_com() {
         let (mut net, mut r) = build_world();
         // Resolving ns2.hoster.com requires walking root → com → hoster.
-        let res = r.resolve(&mut net, &name("ns2.hoster.com"), RType::A).unwrap();
+        let res = r
+            .resolve(&mut net, &name("ns2.hoster.com"), RType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![HOSTER_DNS_IP]);
     }
 
@@ -842,7 +1059,8 @@ mod tests {
         let (mut net, mut r) = build_world();
         r.resolve(&mut net, &name("example.ru"), RType::A).unwrap();
         let after_first = r.queries_sent();
-        r.resolve(&mut net, &name("www.example.ru"), RType::A).unwrap();
+        r.resolve(&mut net, &name("www.example.ru"), RType::A)
+            .unwrap();
         let after_second = r.queries_sent();
         // Second resolution starts from the cached example.ru cut: at most
         // a couple of queries instead of a full walk.
@@ -865,7 +1083,9 @@ mod tests {
         let (mut net, mut r) = build_world();
         // Kill the hoster's DNS box; resolution of example.ru must fail.
         net.unbind(HOSTER_DNS_IP, 53);
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::Timeout);
         assert!(r.stats().timeouts > 0);
     }
@@ -877,7 +1097,9 @@ mod tests {
         let srv = AuthServer::new(zones);
         *srv.behavior_handle().write() = ServerBehavior::Refused;
         net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::Refused);
     }
 
@@ -885,7 +1107,9 @@ mod tests {
     fn budget_exhaustion_reported() {
         let (mut net, mut r) = build_world();
         r.query_budget = 1;
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::BudgetExhausted);
     }
 
@@ -895,7 +1119,9 @@ mod tests {
         let srv = AuthServer::new(shared_zones([]));
         *srv.behavior_handle().write() = ServerBehavior::ServFail;
         net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::ServFail);
         assert!(r.stats().servfails > 0);
     }
@@ -906,7 +1132,9 @@ mod tests {
         let srv = AuthServer::new(shared_zones([]));
         *srv.behavior_handle().write() = ServerBehavior::Lame;
         net.bind(HOSTER_DNS_IP, 53, Box::new(srv));
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::Lame);
         assert!(r.stats().lame > 0);
     }
@@ -915,7 +1143,11 @@ mod tests {
     fn servfail_falls_back_to_healthy_ns() {
         // The fallback bugfix: one broken server in the NS set must not
         // sink the resolution while a healthy sibling exists.
-        for bad in [ServerBehavior::ServFail, ServerBehavior::Lame, ServerBehavior::Truncated] {
+        for bad in [
+            ServerBehavior::ServFail,
+            ServerBehavior::Lame,
+            ServerBehavior::Truncated,
+        ] {
             let (mut net, mut r, _h2) = build_two_ns_world();
             let srv = AuthServer::new(shared_zones([]));
             *srv.behavior_handle().write() = bad;
@@ -943,7 +1175,9 @@ mod tests {
         r.retry_budget = 1;
         // Both NS of example.ru are dead; the second failure exceeds the
         // retry budget, so the walk stops instead of burning more timeouts.
-        let err = r.resolve(&mut net, &name("example.ru"), RType::A).unwrap_err();
+        let err = r
+            .resolve(&mut net, &name("example.ru"), RType::A)
+            .unwrap_err();
         assert_eq!(err, ResolveError::BudgetExhausted);
         assert_eq!(r.stats().retries_spent, 2);
     }
@@ -977,7 +1211,9 @@ mod tests {
                 addr: HOSTER_DNS_IP,
                 port: Some(53),
                 // Long dead phases relative to the query cadence.
-                mode: ServerFaultMode::Flapping { period_us: 120_000_000 },
+                mode: ServerFaultMode::Flapping {
+                    period_us: 120_000_000,
+                },
                 window: FaultWindow::from(SimTime::ZERO),
             });
             let mut answered = 0u64;
@@ -997,7 +1233,10 @@ mod tests {
             "flapping-NS comparison: naive {ok_naive}/12 answered, {wasted_naive} wasted, \
              {time_naive}us; hardened {ok_hard}/12 answered, {wasted_hard} wasted, {time_hard}us"
         );
-        assert!(ok_hard >= ok_naive, "hardening lost answers: {ok_hard} < {ok_naive}");
+        assert!(
+            ok_hard >= ok_naive,
+            "hardening lost answers: {ok_hard} < {ok_naive}"
+        );
         assert!(
             wasted_hard < wasted_naive,
             "penalty box saved nothing: {wasted_hard} vs {wasted_naive} wasted queries"

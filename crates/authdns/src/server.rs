@@ -171,8 +171,11 @@ impl AuthServer {
     }
 }
 
-impl Service for AuthServer {
-    fn handle(&mut self, payload: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+impl AuthServer {
+    /// The full request path (behaviour gate, decode, answer, encode) —
+    /// needs only shared access: zones and behaviour live behind their
+    /// own locks.
+    fn respond(&self, payload: &[u8]) -> Option<Vec<u8>> {
         let behavior = *self.behavior.read();
         if behavior == ServerBehavior::Silent {
             return None;
@@ -199,6 +202,24 @@ impl Service for AuthServer {
             }
         };
         resp.encode().ok()
+    }
+}
+
+impl Service for AuthServer {
+    fn handle(&mut self, payload: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+        self.respond(payload)
+    }
+
+    fn handle_concurrent(
+        &self,
+        payload: &[u8],
+        _src: (Ipv4Addr, u16),
+        _now: SimTime,
+    ) -> Option<Option<Vec<u8>>> {
+        // Every parallel sweep lane walks through the same root and TLD
+        // boxes; answering under shared access keeps them off each
+        // other's critical path.
+        Some(self.respond(payload))
     }
 
     fn processing_us(&self) -> u64 {
@@ -238,9 +259,21 @@ mod tests {
 
     fn example_zone() -> Zone {
         let mut z = Zone::new(name("example.ru"), soa(), 3600);
-        z.add(Record::new(name("example.ru"), 300, RData::A("192.0.2.10".parse().unwrap())));
-        z.add(Record::new(name("example.ru"), 300, RData::Ns(name("ns1.dns-op.ru"))));
-        z.add(Record::new(name("www.example.ru"), 300, RData::Cname(name("example.ru"))));
+        z.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::A("192.0.2.10".parse().unwrap()),
+        ));
+        z.add(Record::new(
+            name("example.ru"),
+            300,
+            RData::Ns(name("ns1.dns-op.ru")),
+        ));
+        z.add(Record::new(
+            name("www.example.ru"),
+            300,
+            RData::Cname(name("example.ru")),
+        ));
         z
     }
 
@@ -249,8 +282,14 @@ mod tests {
         let mut zs = ZoneSet::new();
         zs.insert(Zone::new(name("ru"), soa(), 3600));
         zs.insert(example_zone());
-        assert_eq!(zs.find_best(&name("www.example.ru")).unwrap().origin(), &name("example.ru"));
-        assert_eq!(zs.find_best(&name("other.ru")).unwrap().origin(), &name("ru"));
+        assert_eq!(
+            zs.find_best(&name("www.example.ru")).unwrap().origin(),
+            &name("example.ru")
+        );
+        assert_eq!(
+            zs.find_best(&name("other.ru")).unwrap().origin(),
+            &name("ru")
+        );
         assert!(zs.find_best(&name("example.com")).is_none());
         assert_eq!(zs.len(), 2);
     }
@@ -304,7 +343,9 @@ mod tests {
         let zones = shared_zones([example_zone()]);
         let mut srv = AuthServer::new(Arc::clone(&zones));
         let behavior = srv.behavior_handle();
-        let q = Message::query(9, name("example.ru"), RType::A).encode().unwrap();
+        let q = Message::query(9, name("example.ru"), RType::A)
+            .encode()
+            .unwrap();
         let src = ("10.0.0.1".parse().unwrap(), 40000);
 
         let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
@@ -344,7 +385,9 @@ mod tests {
         let q = Message::query(9, name("example.ru"), RType::A);
         let mut resp = Message::response_to(&q, Rcode::NoError);
         resp.flags.qr = true;
-        assert!(srv.handle(&resp.encode().unwrap(), src, SimTime::ZERO).is_none());
+        assert!(srv
+            .handle(&resp.encode().unwrap(), src, SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
@@ -352,17 +395,26 @@ mod tests {
         let zones = shared_zones([example_zone()]);
         let mut srv = AuthServer::new(Arc::clone(&zones));
         let src = ("10.0.0.1".parse().unwrap(), 40000);
-        let q = Message::query(9, name("example.ru"), RType::A).encode().unwrap();
+        let q = Message::query(9, name("example.ru"), RType::A)
+            .encode()
+            .unwrap();
 
         // Mutate the zone from "outside" (the world driver's daily update).
         {
             let mut g = zones.write();
             let z = g.get_mut(&name("example.ru")).unwrap();
             z.remove(&name("example.ru"), Some(RType::A));
-            z.add(Record::new(name("example.ru"), 300, RData::A("198.51.100.99".parse().unwrap())));
+            z.add(Record::new(
+                name("example.ru"),
+                300,
+                RData::A("198.51.100.99".parse().unwrap()),
+            ));
         }
         let out = srv.handle(&q, src, SimTime::ZERO).unwrap();
         let resp = Message::decode(&out).unwrap();
-        assert_eq!(resp.answers[0].data, RData::A("198.51.100.99".parse().unwrap()));
+        assert_eq!(
+            resp.answers[0].data,
+            RData::A("198.51.100.99".parse().unwrap())
+        );
     }
 }

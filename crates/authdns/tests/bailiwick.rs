@@ -3,11 +3,11 @@
 //! cache-poisoning vector) — and the trace facility must expose what
 //! happened.
 
+use parking_lot::RwLock;
 use ruwhere_authdns::{AuthServer, IterativeResolver, RootHint, TraceEvent, ZoneSet};
 use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record, SoaData, Zone};
 use ruwhere_netsim::{AsInfo, Network, Service, SimTime, Topology};
 use ruwhere_types::{Asn, Country, SeedTree};
-use parking_lot::RwLock;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -89,27 +89,51 @@ fn build() -> (Network, IterativeResolver, Arc<RwLock<u64>>) {
         (Asn(4), Country::US, "203.0.113.0/24"),
         (Asn(5), Country::NL, "130.89.0.0/16"),
     ] {
-        topo.add_as(AsInfo { asn, org: format!("AS{}", asn.value()), country: cc });
+        topo.add_as(AsInfo {
+            asn,
+            org: format!("AS{}", asn.value()),
+            country: cc,
+        });
         topo.announce(net.parse().unwrap(), asn);
     }
     let mut net = Network::new(topo, SeedTree::new(3).child("net"));
 
     // Root delegating .ru to the poisoning TLD server.
     let mut root = Zone::new(Name::root(), soa(), 86400);
-    root.add(Record::new(name("ru"), 86400, RData::Ns(name("a.dns.ripn.net"))));
-    root.add(Record::new(name("a.dns.ripn.net"), 86400, RData::A(POISONER_IP)));
+    root.add(Record::new(
+        name("ru"),
+        86400,
+        RData::Ns(name("a.dns.ripn.net")),
+    ));
+    root.add(Record::new(
+        name("a.dns.ripn.net"),
+        86400,
+        RData::A(POISONER_IP),
+    ));
     let mut zs = ZoneSet::new();
     zs.insert(root);
-    net.bind(ROOT_IP, 53, Box::new(AuthServer::new(Arc::new(RwLock::new(zs)))));
+    net.bind(
+        ROOT_IP,
+        53,
+        Box::new(AuthServer::new(Arc::new(RwLock::new(zs)))),
+    );
 
     net.bind(POISONER_IP, 53, Box::new(PoisoningTld));
 
     // The legitimate authoritative server.
     let mut example = Zone::new(name("example.ru"), soa(), 3600);
-    example.add(Record::new(name("example.ru"), 300, RData::A("194.85.90.10".parse().unwrap())));
+    example.add(Record::new(
+        name("example.ru"),
+        300,
+        RData::A("194.85.90.10".parse().unwrap()),
+    ));
     let mut zs = ZoneSet::new();
     zs.insert(example);
-    net.bind(REAL_NS_IP, 53, Box::new(AuthServer::new(Arc::new(RwLock::new(zs)))));
+    net.bind(
+        REAL_NS_IP,
+        53,
+        Box::new(AuthServer::new(Arc::new(RwLock::new(zs)))),
+    );
 
     // Honeypot listening where the poison points.
     let hits = Arc::new(RwLock::new(0u64));
@@ -117,7 +141,10 @@ fn build() -> (Network, IterativeResolver, Arc<RwLock<u64>>) {
 
     let resolver = IterativeResolver::new(
         CLIENT_IP,
-        vec![RootHint { name: name("a.root-servers.invalid"), addr: ROOT_IP }],
+        vec![RootHint {
+            name: name("a.root-servers.invalid"),
+            addr: ROOT_IP,
+        }],
     );
     (net, resolver, hits)
 }
@@ -129,7 +156,10 @@ fn poisoned_glue_is_discarded_and_honeypot_never_contacted() {
     let res = resolver
         .resolve(&mut net, &name("example.ru"), RType::A)
         .expect("resolution succeeds through legitimate glue");
-    assert_eq!(res.addresses(), vec!["194.85.90.10".parse::<Ipv4Addr>().unwrap()]);
+    assert_eq!(
+        res.addresses(),
+        vec!["194.85.90.10".parse::<Ipv4Addr>().unwrap()]
+    );
     assert_eq!(*hits.read(), 0, "the honeypot must never be queried");
 
     // The trace shows the referral with exactly one accepted glue record
@@ -138,9 +168,11 @@ fn poisoned_glue_is_discarded_and_honeypot_never_contacted() {
     let referral = trace
         .iter()
         .find_map(|e| match e {
-            TraceEvent::Referral { cut, glue, rejected_glue } if *cut == name("example.ru") => {
-                Some((*glue, *rejected_glue))
-            }
+            TraceEvent::Referral {
+                cut,
+                glue,
+                rejected_glue,
+            } if *cut == name("example.ru") => Some((*glue, *rejected_glue)),
             _ => None,
         })
         .expect("referral recorded");
@@ -162,9 +194,14 @@ fn trace_structure_of_a_clean_walk() {
     let trace = resolver.take_trace();
     // Query(root) → Referral(ru…) happens via the poisoning TLD, then the
     // final auth query. At minimum: 3 queries, 1+ referral, 1 done.
-    let queries = trace.iter().filter(|e| matches!(e, TraceEvent::Query { .. })).count();
+    let queries = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Query { .. }))
+        .count();
     assert!(queries >= 3, "expected a full walk, got {queries} queries");
-    assert!(trace.iter().any(|e| matches!(e, TraceEvent::Referral { .. })));
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Referral { .. })));
     // take_trace resets.
     assert!(resolver.take_trace().is_empty());
 }

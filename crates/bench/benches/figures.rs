@@ -66,8 +66,7 @@ fn bench_fig5(c: &mut Criterion) {
     let sweep = r.final_sweep().unwrap();
     c.bench_function("fig5_sanctioned_composition_observe", |b| {
         b.iter(|| {
-            let mut s =
-                CompositionSeries::sanctioned(InfraKind::NameServers, r.sanctions.clone());
+            let mut s = CompositionSeries::sanctioned(InfraKind::NameServers, r.sanctions.clone());
             s.observe(black_box(sweep));
             black_box(s)
         })
@@ -79,10 +78,22 @@ fn bench_fig6_fig7(c: &mut Criterion) {
     let a = r.sweep_at(Date::from_ymd(2022, 3, 8)).expect("retained");
     let b_sweep = r.final_sweep().unwrap();
     c.bench_function("fig6_amazon_movement", |b| {
-        b.iter(|| black_box(MovementReport::analyze(black_box(a), black_box(b_sweep), Asn::AMAZON)))
+        b.iter(|| {
+            black_box(MovementReport::analyze(
+                black_box(a),
+                black_box(b_sweep),
+                Asn::AMAZON,
+            ))
+        })
     });
     c.bench_function("fig7_sedo_movement", |b| {
-        b.iter(|| black_box(MovementReport::analyze(black_box(a), black_box(b_sweep), Asn::SEDO)))
+        b.iter(|| {
+            black_box(MovementReport::analyze(
+                black_box(a),
+                black_box(b_sweep),
+                Asn::SEDO,
+            ))
+        })
     });
 }
 

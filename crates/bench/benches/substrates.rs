@@ -12,7 +12,7 @@ use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record};
 use ruwhere_geo::GeoDbBuilder;
 use ruwhere_netsim::{Ipv4Net, RoutingTable};
 use ruwhere_scan::OpenIntelScanner;
-use ruwhere_types::{Country, Date, SeedTree};
+use ruwhere_types::{Country, Date};
 use ruwhere_world::{World, WorldConfig};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
@@ -48,7 +48,9 @@ fn bench_routing(c: &mut Criterion) {
         let len = rng.random_range(8..=24);
         table.insert(Ipv4Net::new(addr, len).unwrap(), i);
     }
-    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    let probes: Vec<Ipv4Addr> = (0..1024)
+        .map(|_| Ipv4Addr::from(rng.random::<u32>()))
+        .collect();
     let mut g = c.benchmark_group("routing");
     g.throughput(Throughput::Elements(probes.len() as u64));
     g.bench_function("lpm_lookup_10k_prefixes", |b| {
@@ -73,11 +75,17 @@ fn bench_geo(c: &mut Criterion) {
         builder.assign(
             Ipv4Addr::from(start),
             Ipv4Addr::from(start | 0xFFF),
-            if rng.random_bool(0.3) { Country::RU } else { Country::US },
+            if rng.random_bool(0.3) {
+                Country::RU
+            } else {
+                Country::US
+            },
         );
     }
     let db = builder.build();
-    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    let probes: Vec<Ipv4Addr> = (0..1024)
+        .map(|_| Ipv4Addr::from(rng.random::<u32>()))
+        .collect();
     let mut g = c.benchmark_group("geo");
     g.throughput(Throughput::Elements(probes.len() as u64));
     g.bench_function("lookup_20k_ranges", |b| {
@@ -98,7 +106,9 @@ fn bench_crypto(c: &mut Criterion) {
     let data = vec![0xA5u8; 16 * 1024];
     let mut g = c.benchmark_group("crypto");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("sha256_16k", |b| b.iter(|| black_box(sha256(black_box(&data)))));
+    g.bench_function("sha256_16k", |b| {
+        b.iter(|| black_box(sha256(black_box(&data))))
+    });
     g.finish();
 
     // Merkle proofs over a 4096-entry log.
@@ -106,7 +116,9 @@ fn bench_crypto(c: &mut Criterion) {
     let mut ca = ruwhere_ct::CertificateAuthority::new("Bench CA", Country::US, &["B1"], true, 90);
     for i in 0..4096u64 {
         let d: ruwhere_types::DomainName = format!("bench-{i}.ru").parse().unwrap();
-        let cert = ca.issue(&d, vec![], 0, Date::from_ymd(2022, 1, 1), vec![]).unwrap();
+        let cert = ca
+            .issue(&d, vec![], 0, Date::from_ymd(2022, 1, 1), vec![])
+            .unwrap();
         log.append(cert, Date::from_ymd(2022, 1, 1));
     }
     let root = log.root_at(4096).unwrap();
@@ -117,7 +129,13 @@ fn bench_crypto(c: &mut Criterion) {
     let proof = log.inclusion_proof(2048, 4096).unwrap();
     let leaf = log.leaf_at(2048).unwrap();
     c.bench_function("ct_verify_inclusion", |b| {
-        b.iter(|| assert!(verify_inclusion(black_box(&leaf), black_box(&proof), black_box(&root))))
+        b.iter(|| {
+            assert!(verify_inclusion(
+                black_box(&leaf),
+                black_box(&proof),
+                black_box(&root)
+            ))
+        })
     });
     let cproof = log.consistency_proof(1000, 4096).unwrap();
     c.bench_function("ct_verify_consistency", |b| {

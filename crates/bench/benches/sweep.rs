@@ -1,0 +1,28 @@
+//! Sweep-engine throughput: one full daily sweep of the tiny world at
+//! 1 / available-parallelism workers. The engine's determinism contract
+//! makes the two produce byte-identical output, so this measures the
+//! sharding overhead and speedup in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruwhere_scan::{available_workers, OpenIntelScanner};
+use ruwhere_world::{World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_sweep_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    for workers in [1, available_workers()] {
+        g.bench_function(&format!("daily_sweep_{workers}w"), |b| {
+            b.iter(|| {
+                let mut world = World::new(WorldConfig::tiny());
+                let mut scanner = OpenIntelScanner::new(&world);
+                scanner.set_workers(workers);
+                black_box(scanner.sweep(&mut world))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_workers);
+criterion_main!(benches);

@@ -14,6 +14,13 @@
 //!   A/B comparison (IP reconfiguration vs prefix move for the Netnod
 //!   event) as two parallel studies and print the composition around
 //!   2022-03-03 under each model.
+//! * `--bench-sweep FILE`  instead of the full study, measure sweep
+//!   throughput at 1/2/4/8 workers on the pinned CI fixture
+//!   (`RUWHERE_BENCH_DAYS` days per count) and write `FILE`
+//!   (`BENCH_sweep.json`: wall time, queries/sec, NS-cache hit rate).
+//! * `--check-baseline FILE`  after `--bench-sweep`, gate the measured
+//!   throughput against the committed baseline `FILE`: exit 1 if any
+//!   worker count regresses more than 15% in queries/sec.
 
 use ruwhere_core::figures;
 use ruwhere_core::{run_study, StudyConfig};
@@ -26,6 +33,8 @@ struct Args {
     full: bool,
     out: Option<std::path::PathBuf>,
     ablation_geolag: bool,
+    bench_sweep: Option<std::path::PathBuf>,
+    check_baseline: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +43,8 @@ fn parse_args() -> Args {
         full: false,
         out: None,
         ablation_geolag: false,
+        bench_sweep: None,
+        check_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,6 +57,20 @@ fn parse_args() -> Args {
             }
             "--full" => args.full = true,
             "--ablation-geolag" => args.ablation_geolag = true,
+            "--bench-sweep" => {
+                args.bench_sweep = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --bench-sweep"))
+                        .into(),
+                );
+            }
+            "--check-baseline" => {
+                args.check_baseline = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --check-baseline"))
+                        .into(),
+                );
+            }
             "--out" => {
                 args.out = Some(
                     it.next()
@@ -64,8 +89,56 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: repro [--scale N] [--full] [--out DIR]");
+    eprintln!(
+        "usage: repro [--scale N] [--full] [--out DIR] [--ablation-geolag]\n\
+         \x20            [--bench-sweep FILE [--check-baseline BASELINE]]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Sweep-throughput benchmark mode: measure, write the artifact, and
+/// optionally gate against the committed baseline.
+fn run_bench_sweep(out: &std::path::Path, baseline: Option<&std::path::Path>) {
+    const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const TOLERANCE: f64 = 0.15;
+    eprintln!(
+        "bench: sweeping {} days per worker count {:?}…",
+        std::env::var(ruwhere_bench::BENCH_DAYS_ENV)
+            .unwrap_or_else(|_| ruwhere_bench::DEFAULT_BENCH_DAYS.to_string()),
+        WORKER_COUNTS
+    );
+    let rows = ruwhere_bench::bench_sweep(&WORKER_COUNTS);
+    for r in &rows {
+        eprintln!(
+            "  workers={}  wall={:.3}s  {:>8.0} q/s  ns-cache hit rate {:.1}%",
+            r.workers,
+            r.wall_seconds,
+            r.queries_per_sec,
+            100.0 * r.ns_cache_hit_rate
+        );
+    }
+    if let Some(s) = ruwhere_bench::speedup(&rows, 1, 8) {
+        eprintln!("  speedup 1→8 workers: {s:.2}×");
+    }
+    let json = ruwhere_bench::render_bench_json(&rows);
+    std::fs::write(out, &json).expect("write bench artifact");
+    eprintln!("wrote {}", out.display());
+
+    if let Some(baseline_path) = baseline {
+        let baseline_json = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        match ruwhere_bench::check_baseline(&rows, &baseline_json, TOLERANCE) {
+            Ok(()) => eprintln!(
+                "baseline check passed (within {:.0}% of {})",
+                TOLERANCE * 100.0,
+                baseline_path.display()
+            ),
+            Err(msg) => {
+                eprintln!("baseline check FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Run the footnote-5 ablation: two studies in parallel, identical except
@@ -89,18 +162,24 @@ fn run_geolag_ablation(scale: usize) {
     let (reconf, moved) = crossbeam::thread::scope(|s| {
         let a = s.spawn(|_| run_study(&build_cfg(false)));
         let b = s.spawn(|_| run_study(&build_cfg(true)));
-        (a.join().expect("reconf study"), b.join().expect("move study"))
+        (
+            a.join().expect("reconf study"),
+            b.join().expect("move study"),
+        )
     })
     .expect("scope");
     eprintln!("both studies done in {:.1}s", t0.elapsed().as_secs_f64());
 
     let mut t = ruwhere_core::Table::new(
         "Footnote-5 ablation: measured partial-NS share around the Netnod event",
-        &["date", "IP reconfiguration (default)", "prefix move (geo lags)"],
+        &[
+            "date",
+            "IP reconfiguration (default)",
+            "prefix move (geo lags)",
+        ],
     );
     for d in Date::from_ymd(2022, 2, 28).to(Date::from_ymd(2022, 4, 10)) {
-        let (Some(a), Some(b)) = (reconf.ns_composition.at(d), moved.ns_composition.at(d))
-        else {
+        let (Some(a), Some(b)) = (reconf.ns_composition.at(d), moved.ns_composition.at(d)) else {
             continue;
         };
         if d.day() % 3 != 0 && d != Date::from_ymd(2022, 3, 3) {
@@ -123,6 +202,13 @@ fn run_geolag_ablation(scale: usize) {
 
 fn main() {
     let args = parse_args();
+    if let Some(out) = &args.bench_sweep {
+        run_bench_sweep(out, args.check_baseline.as_deref());
+        return;
+    }
+    if args.check_baseline.is_some() {
+        usage("--check-baseline requires --bench-sweep");
+    }
     if args.ablation_geolag {
         run_geolag_ablation(args.scale.max(1000));
         return;
@@ -164,17 +250,50 @@ fn main() {
         .copied()
         .expect("study retained sweeps");
 
-    artifacts.push(("dataset_stats".into(), figures::dataset_table(&results).render()));
-    artifacts.push(("fig1_series".into(), figures::fig1_series(&results).render()));
-    artifacts.push(("fig1_summary".into(), figures::fig1_summary(&results).render()));
-    artifacts.push(("hosting_summary".into(), figures::hosting_summary(&results).render()));
-    artifacts.push(("fig2_series".into(), figures::fig2_series(&results).render()));
-    artifacts.push(("fig2_summary".into(), figures::fig2_summary(&results).render()));
-    artifacts.push(("fig3_series".into(), figures::fig3_series(&results).render()));
-    artifacts.push(("fig3_summary".into(), figures::fig3_summary(&results).render()));
-    artifacts.push(("fig4_series".into(), figures::fig4_series(&results).render()));
-    artifacts.push(("fig5_series".into(), figures::fig5_series(&results).render()));
-    artifacts.push(("fig5_summary".into(), figures::fig5_summary(&results).render()));
+    artifacts.push((
+        "dataset_stats".into(),
+        figures::dataset_table(&results).render(),
+    ));
+    artifacts.push((
+        "fig1_series".into(),
+        figures::fig1_series(&results).render(),
+    ));
+    artifacts.push((
+        "fig1_summary".into(),
+        figures::fig1_summary(&results).render(),
+    ));
+    artifacts.push((
+        "hosting_summary".into(),
+        figures::hosting_summary(&results).render(),
+    ));
+    artifacts.push((
+        "fig2_series".into(),
+        figures::fig2_series(&results).render(),
+    ));
+    artifacts.push((
+        "fig2_summary".into(),
+        figures::fig2_summary(&results).render(),
+    ));
+    artifacts.push((
+        "fig3_series".into(),
+        figures::fig3_series(&results).render(),
+    ));
+    artifacts.push((
+        "fig3_summary".into(),
+        figures::fig3_summary(&results).render(),
+    ));
+    artifacts.push((
+        "fig4_series".into(),
+        figures::fig4_series(&results).render(),
+    ));
+    artifacts.push((
+        "fig5_series".into(),
+        figures::fig5_series(&results).render(),
+    ));
+    artifacts.push((
+        "fig5_summary".into(),
+        figures::fig5_summary(&results).render(),
+    ));
 
     if let Some((t, _)) = figures::movement_table(
         &results,
@@ -204,13 +323,22 @@ fn main() {
     let (fig8, _) = figures::fig8_table(&results);
     artifacts.push(("fig8_ca_timelines".into(), fig8.render()));
     artifacts.push(("tab1_issuance".into(), figures::table1(&results).render()));
-    artifacts.push(("cert_volume".into(), figures::cert_volume_table(&results).render()));
+    artifacts.push((
+        "cert_volume".into(),
+        figures::cert_volume_table(&results).render(),
+    ));
     artifacts.push(("tab2_revocation".into(), figures::table2(&results).render()));
     if let Some(t) = figures::russian_ca_table(&results) {
         artifacts.push(("sec4_3_russian_ca".into(), t.render()));
     }
-    artifacts.push(("transition_flows".into(), figures::transition_table(&results).render()));
-    artifacts.push(("sec6_discussion".into(), figures::discussion_table(&results).render()));
+    artifacts.push((
+        "transition_flows".into(),
+        figures::transition_table(&results).render(),
+    ));
+    artifacts.push((
+        "sec6_discussion".into(),
+        figures::discussion_table(&results).render(),
+    ));
 
     for (id, text) in &artifacts {
         println!("=== {id} ===");
@@ -227,16 +355,30 @@ fn main() {
         // Plottable figures: TSV + gnuplot script pairs.
         use ruwhere_core::{gnuplot_script, PlotSpec};
         let plots = [
-            (figures::fig1_series(&results), PlotSpec::percent("fig1.png", "Figure 1: NS country composition")),
-            (figures::fig2_series(&results), PlotSpec::percent("fig2.png", "Figure 2: NS TLD-dependency composition")),
-            (figures::fig3_series(&results), PlotSpec::percent("fig3.png", "Figure 3: top-5 NS TLD usage")),
-            (figures::fig4_series(&results), PlotSpec::percent("fig4.png", "Figure 4: hosting-network shares")),
-            (figures::fig5_series(&results), PlotSpec::percent("fig5.png", "Figure 5: sanctioned NS composition")),
+            (
+                figures::fig1_series(&results),
+                PlotSpec::percent("fig1.png", "Figure 1: NS country composition"),
+            ),
+            (
+                figures::fig2_series(&results),
+                PlotSpec::percent("fig2.png", "Figure 2: NS TLD-dependency composition"),
+            ),
+            (
+                figures::fig3_series(&results),
+                PlotSpec::percent("fig3.png", "Figure 3: top-5 NS TLD usage"),
+            ),
+            (
+                figures::fig4_series(&results),
+                PlotSpec::percent("fig4.png", "Figure 4: hosting-network shares"),
+            ),
+            (
+                figures::fig5_series(&results),
+                PlotSpec::percent("fig5.png", "Figure 5: sanctioned NS composition"),
+            ),
         ];
         for (i, (series, spec)) in plots.iter().enumerate() {
             let base = format!("fig{}", i + 1);
-            std::fs::write(dir.join(format!("{base}.tsv")), series.render())
-                .expect("write tsv");
+            std::fs::write(dir.join(format!("{base}.tsv")), series.render()).expect("write tsv");
             std::fs::write(
                 dir.join(format!("{base}.gnuplot")),
                 gnuplot_script(series, &format!("{base}.tsv"), spec),

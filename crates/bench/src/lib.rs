@@ -2,17 +2,268 @@
 //!
 //! Building a world and sweeping it is expensive; benches build one shared
 //! fixture per process and measure the per-figure analysis code against it.
+//!
+//! The module also hosts the sweep-throughput benchmark behind the CI
+//! `bench` job: [`bench_sweep`] measures wall-clock sweep time at a set of
+//! worker counts on a pinned fixture, [`render_bench_json`] serialises the
+//! rows to the committed `BENCH_sweep.json` format, and [`check_baseline`]
+//! gates regressions against a committed baseline.
 
 use ruwhere_core::{run_study, StudyConfig, StudyResults};
+use ruwhere_scan::OpenIntelScanner;
 use ruwhere_types::Date;
+use ruwhere_world::{World, WorldConfig};
 use std::sync::OnceLock;
+use std::time::Instant;
 
-/// A cached tiny study spanning the conflict window.
+/// Environment variable naming the number of daily-sweep days in the
+/// bench fixture (and the sweep-throughput benchmark's day count).
+pub const BENCH_DAYS_ENV: &str = "RUWHERE_BENCH_DAYS";
+
+/// Days swept by [`bench_sweep`] per worker count when [`BENCH_DAYS_ENV`]
+/// is unset.
+pub const DEFAULT_BENCH_DAYS: i32 = 3;
+
+fn bench_days() -> i32 {
+    std::env::var(BENCH_DAYS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<i32>().ok())
+        .map(|d| d.max(1))
+        .unwrap_or(DEFAULT_BENCH_DAYS)
+}
+
+/// The fixture's study configuration: the test schedule (tiny world,
+/// daily sweeps from 2022-02-20), with the daily window trimmed to the
+/// last `$RUWHERE_BENCH_DAYS` days when that variable is set — CI pins it
+/// so bench numbers are comparable across runs; locally it shrinks the
+/// fixture for quick iterations.
+pub fn fixture_config() -> StudyConfig {
+    let mut cfg = StudyConfig::test_schedule();
+    cfg.daily_from = Date::from_ymd(2022, 2, 20);
+    if std::env::var(BENCH_DAYS_ENV).is_ok() {
+        let days = bench_days();
+        cfg.daily_from = cfg.world.end.add_days(-(days - 1)).max(cfg.world.start);
+    }
+    cfg
+}
+
+/// A cached tiny study spanning the conflict window (see
+/// [`fixture_config`] for the `RUWHERE_BENCH_DAYS` override).
 pub fn fixture() -> &'static StudyResults {
     static FIXTURE: OnceLock<StudyResults> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let mut cfg = StudyConfig::test_schedule();
-        cfg.daily_from = Date::from_ymd(2022, 2, 20);
-        run_study(&cfg)
-    })
+    FIXTURE.get_or_init(|| run_study(&fixture_config()))
+}
+
+/// One worker-count's measured sweep throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepBenchRow {
+    /// Worker-pool size the sweeps ran with.
+    pub workers: usize,
+    /// Wall-clock seconds for all sweeps (world construction excluded).
+    pub wall_seconds: f64,
+    /// DNS queries the sweeps emitted (identical for every worker count —
+    /// the engine's determinism contract).
+    pub queries: u64,
+    /// Throughput: queries per wall-clock second.
+    pub queries_per_sec: f64,
+    /// Shared NS-target cache hit rate across the sweeps.
+    pub ns_cache_hit_rate: f64,
+}
+
+/// Measure sweep throughput at each worker count on the pinned fixture:
+/// a fresh tiny world per count (identical by construction), sweeping
+/// `$RUWHERE_BENCH_DAYS` consecutive days (default
+/// [`DEFAULT_BENCH_DAYS`]). Only `sweep()` calls are timed.
+pub fn bench_sweep(worker_counts: &[usize]) -> Vec<SweepBenchRow> {
+    let days = bench_days();
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut world = World::new(WorldConfig::tiny());
+            let mut scanner = OpenIntelScanner::new(&world);
+            scanner.set_workers(workers);
+            let mut wall = 0.0f64;
+            let mut queries = 0u64;
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for day in 0..days {
+                if day > 0 {
+                    world.advance_to(world.today().succ());
+                }
+                let t0 = Instant::now();
+                let sweep = scanner.sweep(&mut world);
+                wall += t0.elapsed().as_secs_f64();
+                queries += sweep.stats.queries;
+                hits += sweep.stats.ns_cache_hits;
+                misses += sweep.stats.ns_cache_misses;
+            }
+            SweepBenchRow {
+                workers,
+                wall_seconds: wall,
+                queries,
+                queries_per_sec: if wall > 0.0 {
+                    queries as f64 / wall
+                } else {
+                    0.0
+                },
+                ns_cache_hit_rate: if hits + misses > 0 {
+                    hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Serialise bench rows as the `BENCH_sweep.json` artifact. Hand-rolled
+/// (the build has no JSON dependency); one row object per line so the
+/// baseline gate can parse it with plain string scanning.
+pub fn render_bench_json(rows: &[SweepBenchRow]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!("{{\n  \"bench\": \"sweep\",\n  \"cpus\": {cpus},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_seconds\": {:.6}, \"queries\": {}, \
+             \"queries_per_sec\": {:.1}, \"ns_cache_hit_rate\": {:.4}}}{}\n",
+            r.workers,
+            r.wall_seconds,
+            r.queries,
+            r.queries_per_sec,
+            r.ns_cache_hit_rate,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let speedup = speedup(
+        rows,
+        1,
+        *rows.iter().map(|r| &r.workers).max().unwrap_or(&1),
+    );
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"max_speedup\": {:.2}\n}}\n",
+        speedup.unwrap_or(1.0)
+    ));
+    out
+}
+
+/// Speedup of `workers_b` relative to `workers_a` (wall-clock ratio).
+pub fn speedup(rows: &[SweepBenchRow], workers_a: usize, workers_b: usize) -> Option<f64> {
+    let a = rows.iter().find(|r| r.workers == workers_a)?;
+    let b = rows.iter().find(|r| r.workers == workers_b)?;
+    if b.wall_seconds > 0.0 {
+        Some(a.wall_seconds / b.wall_seconds)
+    } else {
+        None
+    }
+}
+
+/// Extract `"key": <number>` from a JSON row line (the line-oriented
+/// format [`render_bench_json`] writes).
+fn json_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gate current throughput against a committed baseline JSON: for every
+/// worker count present in both, the measured queries/sec must not fall
+/// more than `tolerance` (e.g. `0.15`) below the baseline. Returns the
+/// list of violations as the error.
+pub fn check_baseline(
+    current: &[SweepBenchRow],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut checked = 0usize;
+    let mut violations = Vec::new();
+    for line in baseline_json.lines() {
+        let (Some(workers), Some(base_qps)) = (
+            json_field(line, "workers"),
+            json_field(line, "queries_per_sec"),
+        ) else {
+            continue;
+        };
+        let Some(cur) = current.iter().find(|r| r.workers == workers as usize) else {
+            continue;
+        };
+        checked += 1;
+        let floor = base_qps * (1.0 - tolerance);
+        if cur.queries_per_sec < floor {
+            violations.push(format!(
+                "workers={}: {:.1} q/s is below the baseline floor {:.1} \
+                 (baseline {:.1}, tolerance {:.0}%)",
+                cur.workers,
+                cur.queries_per_sec,
+                floor,
+                base_qps,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err("baseline JSON contained no comparable rows".into());
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SweepBenchRow> {
+        vec![
+            SweepBenchRow {
+                workers: 1,
+                wall_seconds: 4.0,
+                queries: 4000,
+                queries_per_sec: 1000.0,
+                ns_cache_hit_rate: 0.9,
+            },
+            SweepBenchRow {
+                workers: 4,
+                wall_seconds: 1.0,
+                queries: 4000,
+                queries_per_sec: 4000.0,
+                ns_cache_hit_rate: 0.9,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_through_the_gate() {
+        let json = render_bench_json(&rows());
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"max_speedup\": 4.00"));
+        // Identical numbers pass the gate.
+        assert!(check_baseline(&rows(), &json, 0.15).is_ok());
+        // A >15% throughput drop fails it.
+        let mut slow = rows();
+        slow[1].queries_per_sec = 3000.0;
+        let err = check_baseline(&slow, &json, 0.15).unwrap_err();
+        assert!(err.contains("workers=4"), "unexpected error: {err}");
+        // An improvement passes.
+        let mut fast = rows();
+        fast[1].queries_per_sec = 9000.0;
+        assert!(check_baseline(&fast, &json, 0.15).is_ok());
+    }
+
+    #[test]
+    fn speedup_is_wall_clock_ratio() {
+        assert_eq!(speedup(&rows(), 1, 4), Some(4.0));
+        assert_eq!(speedup(&rows(), 1, 8), None);
+    }
+
+    #[test]
+    fn gate_rejects_empty_baseline() {
+        assert!(check_baseline(&rows(), "{}", 0.15).is_err());
+    }
 }

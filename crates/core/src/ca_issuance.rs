@@ -21,7 +21,9 @@ impl IssuanceTimeline {
 
     /// The last date `org` issued.
     pub fn last_issuance(&self, org: &str) -> Option<Date> {
-        self.days.get(org).and_then(|s| s.iter().next_back().copied())
+        self.days
+            .get(org)
+            .and_then(|s| s.iter().next_back().copied())
     }
 
     /// Whether `org` stopped issuing before `horizon` minus `slack` days —

@@ -16,7 +16,9 @@ use crate::russian_ca::RussianCaAnalysis;
 use crate::tld_dependency::{TldDependencySeries, TldUsageSeries};
 use crate::transitions::TransitionFlows;
 use ruwhere_registry::SanctionsList;
-use ruwhere_scan::{CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner};
+use ruwhere_scan::{
+    CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner,
+};
 use ruwhere_types::{Date, CERT_WINDOW_END, CERT_WINDOW_START};
 use ruwhere_world::{World, WorldConfig};
 use std::collections::BTreeMap;
@@ -38,6 +40,10 @@ pub struct StudyConfig {
     /// (the footnote-8 outage falls on a Monday; the weekly cadence runs
     /// Sundays) get explicit sweeps here.
     pub extra_sweeps: Vec<Date>,
+    /// Sweep worker-pool size. Output is byte-identical for any value
+    /// (the engine's determinism contract); this only trades wall-clock
+    /// time. Defaults to the machine's available parallelism.
+    pub workers: usize,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -65,6 +71,7 @@ impl StudyConfig {
             ip_scans,
             // The 2021-03-22 measurement outage (footnote 8).
             extra_sweeps: vec![Date::from_ymd(2021, 3, 22)],
+            workers: ruwhere_scan::available_workers(),
             verbose: false,
         }
     }
@@ -172,6 +179,7 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
     let first = sweep_dates.first().copied();
     let last = sweep_dates.last().copied();
     let mut scanner = OpenIntelScanner::new(&world);
+    scanner.set_workers(cfg.workers);
     let ip_scanner = IpScanner::new(&world);
     let mut ip_scans: Vec<IpScanSnapshot> = Vec::new();
     let mut scans_pending = cfg.ip_scans.clone();

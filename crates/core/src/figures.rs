@@ -82,8 +82,16 @@ pub fn fig1_summary(r: &StudyResults) -> Table {
         &["metric", "measured", "paper"],
     );
     if let Some(((d0, c0), (d1, c1))) = r.ns_composition.extrema() {
-        t.row([format!("full% at {d0}"), format!("{:.1}%", c0.pct_full()), "67.0%".into()]);
-        t.row([format!("full% at {d1}"), format!("{:.1}%", c1.pct_full()), "73.9%".into()]);
+        t.row([
+            format!("full% at {d0}"),
+            format!("{:.1}%", c0.pct_full()),
+            "67.0%".into(),
+        ]);
+        t.row([
+            format!("full% at {d1}"),
+            format!("{:.1}%", c1.pct_full()),
+            "73.9%".into(),
+        ]);
         t.row([
             "net change (pts)".into(),
             format!("{:+.1}", c1.pct_full() - c0.pct_full()),
@@ -137,7 +145,11 @@ pub fn fig2_summary(r: &StudyResults) -> Table {
     );
     if let Some((df, dp, dn)) = r.tld_dependency.net_change() {
         t.row(["full (pts)".to_owned(), format!("{df:+.1}"), "-6.3".into()]);
-        t.row(["partial (pts)".to_owned(), format!("{dp:+.1}"), "+7.9".into()]);
+        t.row([
+            "partial (pts)".to_owned(),
+            format!("{dp:+.1}"),
+            "+7.9".into(),
+        ]);
         t.row(["non (pts)".to_owned(), format!("{dn:+.1}"), "≈-1.6".into()]);
     }
     t
@@ -295,9 +307,21 @@ pub fn movement_table(
         report.original().to_string(),
         "100.0%".into(),
     ]);
-    t.row(["remained".to_owned(), report.remained().to_string(), pct(report.remained())]);
-    t.row(["relocated out".to_owned(), report.relocated().to_string(), pct(report.relocated())]);
-    t.row(["gone/unresolved".to_owned(), report.lost().to_string(), pct(report.lost())]);
+    t.row([
+        "remained".to_owned(),
+        report.remained().to_string(),
+        pct(report.remained()),
+    ]);
+    t.row([
+        "relocated out".to_owned(),
+        report.relocated().to_string(),
+        pct(report.relocated()),
+    ]);
+    t.row([
+        "gone/unresolved".to_owned(),
+        report.lost().to_string(),
+        pct(report.lost()),
+    ]);
     t.row([
         "relocated in".to_owned(),
         report.relocated_in.len().to_string(),
@@ -328,8 +352,16 @@ pub fn fig8_table(r: &StudyResults) -> (Table, IssuanceTimeline) {
     );
     for org in r.issuance.top_orgs(10) {
         let days = timeline.days.get(&org).cloned().unwrap_or_default();
-        let first = days.iter().next().map(|d| d.to_string()).unwrap_or_default();
-        let last = days.iter().next_back().map(|d| d.to_string()).unwrap_or_default();
+        let first = days
+            .iter()
+            .next()
+            .map(|d| d.to_string())
+            .unwrap_or_default();
+        let last = days
+            .iter()
+            .next_back()
+            .map(|d| d.to_string())
+            .unwrap_or_default();
         let stopped = r.issuance.effectively_stopped(&org, horizon);
         let _ = &horizon;
         t.row([
@@ -337,7 +369,11 @@ pub fn fig8_table(r: &StudyResults) -> (Table, IssuanceTimeline) {
             first,
             last,
             days.len().to_string(),
-            if stopped { "STOPPED".into() } else { "active".to_owned() },
+            if stopped {
+                "STOPPED".into()
+            } else {
+                "active".to_owned()
+            },
         ]);
     }
     (t, timeline)
@@ -378,12 +414,27 @@ pub fn cert_volume_table(r: &StudyResults) -> Table {
         &["period", "certs/day (measured)"],
     );
     let windows = [
-        (Period::PreConflict, ruwhere_types::CERT_WINDOW_START, Date::from_ymd(2022, 2, 23)),
-        (Period::PreSanctions, Date::from_ymd(2022, 2, 24), Date::from_ymd(2022, 3, 26)),
-        (Period::PostSanctions, Date::from_ymd(2022, 3, 27), ruwhere_types::CERT_WINDOW_END),
+        (
+            Period::PreConflict,
+            ruwhere_types::CERT_WINDOW_START,
+            Date::from_ymd(2022, 2, 23),
+        ),
+        (
+            Period::PreSanctions,
+            Date::from_ymd(2022, 2, 24),
+            Date::from_ymd(2022, 3, 26),
+        ),
+        (
+            Period::PostSanctions,
+            Date::from_ymd(2022, 3, 27),
+            ruwhere_types::CERT_WINDOW_END,
+        ),
     ];
     for (p, from, to) in windows {
-        t.row([p.to_string(), format!("{:.0}", r.issuance.daily_volume(from, to))]);
+        t.row([
+            p.to_string(),
+            format!("{:.0}", r.issuance.daily_volume(from, to)),
+        ]);
     }
     t
 }
@@ -427,12 +478,20 @@ pub fn russian_ca_table(r: &StudyResults) -> Option<Table> {
     ]);
     t.row([
         ".рф domains".to_owned(),
-        a.domains_by_tld.get("xn--p1ai").copied().unwrap_or(0).to_string(),
+        a.domains_by_tld
+            .get("xn--p1ai")
+            .copied()
+            .unwrap_or(0)
+            .to_string(),
         "2".into(),
     ]);
     t.row([
         "sanctioned covered".to_owned(),
-        format!("{} ({:.0}%)", a.sanctioned_covered, 100.0 * a.sanctioned_coverage()),
+        format!(
+            "{} ({:.0}%)",
+            a.sanctioned_covered,
+            100.0 * a.sanctioned_coverage()
+        ),
         "36 (34%)".into(),
     ]);
     t.row(["in CT logs".to_owned(), a.in_ct.to_string(), "0".into()]);
@@ -448,15 +507,42 @@ pub fn russian_ca_table(r: &StudyResults) -> Option<Table> {
 pub fn provider_actions_table(r: &StudyResults) -> Table {
     let mut t = Table::new(
         "§3.4: provider actions (movement between announcement date and study end)",
-        &["provider", "original", "remained", "relocated", "in (reloc+new)", "paper"],
+        &[
+            "provider",
+            "original",
+            "remained",
+            "relocated",
+            "in (reloc+new)",
+            "paper",
+        ],
     );
     let end = r.retained.keys().next_back().copied();
     let Some(end) = end else { return t };
     let cases = [
-        (Asn::AMAZON, "Amazon", Date::from_ymd(2022, 3, 8), ">50% relocate; 43% remain; 574 new + 988 reloc in"),
-        (Asn::SEDO, "Sedo", Date::from_ymd(2022, 3, 8), "98% relocate; 2.7k remain; 311 in"),
-        (Asn::CLOUDFLARE, "Cloudflare", Date::from_ymd(2022, 3, 7), "94% remain; 34k in"),
-        (Asn::GOOGLE, "Google", Date::from_ymd(2022, 3, 10), "57.1% relocate (75.2% intra-Google)"),
+        (
+            Asn::AMAZON,
+            "Amazon",
+            Date::from_ymd(2022, 3, 8),
+            ">50% relocate; 43% remain; 574 new + 988 reloc in",
+        ),
+        (
+            Asn::SEDO,
+            "Sedo",
+            Date::from_ymd(2022, 3, 8),
+            "98% relocate; 2.7k remain; 311 in",
+        ),
+        (
+            Asn::CLOUDFLARE,
+            "Cloudflare",
+            Date::from_ymd(2022, 3, 7),
+            "94% remain; 34k in",
+        ),
+        (
+            Asn::GOOGLE,
+            "Google",
+            Date::from_ymd(2022, 3, 10),
+            "57.1% relocate (75.2% intra-Google)",
+        ),
     ];
     for (asn, name, start, paper) in cases {
         let (Some(a), Some(b)) = (r.sweep_at(start), r.sweep_at(end)) else {
@@ -479,65 +565,21 @@ pub fn provider_actions_table(r: &StudyResults) -> Table {
         t.row([
             name.to_owned(),
             report.original().to_string(),
-            format!("{} ({:.0}%)", report.remained(), 100.0 * report.remained() as f64 / orig as f64),
+            format!(
+                "{} ({:.0}%)",
+                report.remained(),
+                100.0 * report.remained() as f64 / orig as f64
+            ),
             relocated,
-            format!("{}+{}", report.relocated_in.len(), report.newly_registered.len()),
+            format!(
+                "{}+{}",
+                report.relocated_in.len(),
+                report.newly_registered.len()
+            ),
             paper.to_owned(),
         ]);
     }
     t
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::experiments::{run_study, StudyConfig};
-
-    // One shared tiny study for all renderer tests (building it is the
-    // expensive part).
-    fn study() -> &'static StudyResults {
-        use std::sync::OnceLock;
-        static STUDY: OnceLock<StudyResults> = OnceLock::new();
-        STUDY.get_or_init(|| {
-            let mut cfg = StudyConfig::test_schedule();
-            cfg.daily_from = Date::from_ymd(2022, 2, 22);
-            run_study(&cfg)
-        })
-    }
-
-    #[test]
-    fn all_renderers_produce_output() {
-        let r = study();
-        assert!(!fig1_series(r).is_empty());
-        assert!(!fig1_summary(r).is_empty());
-        assert!(!hosting_summary(r).is_empty());
-        assert!(!fig2_series(r).is_empty());
-        assert!(!fig2_summary(r).is_empty());
-        assert!(!fig3_series(r).is_empty());
-        assert!(!fig3_summary(r).is_empty());
-        assert!(!fig4_series(r).is_empty());
-        assert!(!fig5_series(r).is_empty());
-        assert!(!fig5_summary(r).is_empty());
-        let (fig8, _) = fig8_table(r);
-        assert!(!fig8.is_empty());
-        assert!(!table1(r).is_empty());
-        assert!(!table2(r).is_empty());
-        assert!(!cert_volume_table(r).is_empty());
-        assert!(russian_ca_table(r).is_some());
-        assert!(!provider_actions_table(r).is_empty());
-        assert!(!dataset_table(r).is_empty());
-        assert!(discussion_table(r).len() >= 4);
-    }
-
-    #[test]
-    fn movement_table_needs_retained_sweeps() {
-        let r = study();
-        let end = *r.retained.keys().next_back().unwrap();
-        let got = movement_table(r, Asn::SEDO, "Figure 7", Date::from_ymd(2022, 3, 8), end, "98% relocate");
-        assert!(got.is_some());
-        let missing = movement_table(r, Asn::SEDO, "x", Date::from_ymd(2021, 1, 1), end, "");
-        assert!(missing.is_none());
-    }
 }
 
 /// §6 "Discussion": the paper's three headline findings, computed from the
@@ -609,7 +651,10 @@ pub fn transition_table(r: &StudyResults) -> Table {
         &["metric", "value"],
     );
     if let Some((date, n)) = r.transitions.peak(C::Partial, C::Full) {
-        t.row(["peak partial→full day".to_owned(), format!("{date} ({n} domains)")]);
+        t.row([
+            "peak partial→full day".to_owned(),
+            format!("{date} ({n} domains)"),
+        ]);
     }
     for (from, to, label) in [
         (C::Partial, C::Full, "total partial→full"),
@@ -620,4 +665,63 @@ pub fn transition_table(r: &StudyResults) -> Table {
         t.row([label.to_owned(), r.transitions.total(from, to).to_string()]);
     }
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_study, StudyConfig};
+
+    // One shared tiny study for all renderer tests (building it is the
+    // expensive part).
+    fn study() -> &'static StudyResults {
+        use std::sync::OnceLock;
+        static STUDY: OnceLock<StudyResults> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let mut cfg = StudyConfig::test_schedule();
+            cfg.daily_from = Date::from_ymd(2022, 2, 22);
+            run_study(&cfg)
+        })
+    }
+
+    #[test]
+    fn all_renderers_produce_output() {
+        let r = study();
+        assert!(!fig1_series(r).is_empty());
+        assert!(!fig1_summary(r).is_empty());
+        assert!(!hosting_summary(r).is_empty());
+        assert!(!fig2_series(r).is_empty());
+        assert!(!fig2_summary(r).is_empty());
+        assert!(!fig3_series(r).is_empty());
+        assert!(!fig3_summary(r).is_empty());
+        assert!(!fig4_series(r).is_empty());
+        assert!(!fig5_series(r).is_empty());
+        assert!(!fig5_summary(r).is_empty());
+        let (fig8, _) = fig8_table(r);
+        assert!(!fig8.is_empty());
+        assert!(!table1(r).is_empty());
+        assert!(!table2(r).is_empty());
+        assert!(!cert_volume_table(r).is_empty());
+        assert!(russian_ca_table(r).is_some());
+        assert!(!provider_actions_table(r).is_empty());
+        assert!(!dataset_table(r).is_empty());
+        assert!(discussion_table(r).len() >= 4);
+    }
+
+    #[test]
+    fn movement_table_needs_retained_sweeps() {
+        let r = study();
+        let end = *r.retained.keys().next_back().unwrap();
+        let got = movement_table(
+            r,
+            Asn::SEDO,
+            "Figure 7",
+            Date::from_ymd(2022, 3, 8),
+            end,
+            "98% relocate",
+        );
+        assert!(got.is_some());
+        let missing = movement_table(r, Asn::SEDO, "x", Date::from_ymd(2021, 1, 1), end, "");
+        assert!(missing.is_none());
+    }
 }

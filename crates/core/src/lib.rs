@@ -35,10 +35,10 @@ pub mod tld_dependency;
 pub mod transitions;
 
 pub use asn_share::AsnShareSeries;
-pub use experiments::{run_study, StudyConfig, StudyResults};
 pub use ca_issuance::{CaIssuanceAnalysis, IssuanceTimeline, PeriodTable};
 pub use composition::{Composition, CompositionCounts, CompositionSeries, InfraKind};
 pub use dataset_stats::DatasetStats;
+pub use experiments::{run_study, StudyConfig, StudyResults};
 pub use movement::{Movement, MovementReport};
 pub use plots::{gnuplot_script, PlotSpec};
 pub use report::{format_count, format_pct, Series, Table};

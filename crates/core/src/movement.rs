@@ -49,8 +49,7 @@ impl MovementReport {
                 .domains
                 .iter()
                 .map(|rec| {
-                    let mut asns: Vec<Asn> =
-                        rec.apex_addrs.iter().filter_map(|x| x.asn).collect();
+                    let mut asns: Vec<Asn> = rec.apex_addrs.iter().filter_map(|x| x.asn).collect();
                     asns.sort_unstable();
                     asns.dedup();
                     (rec.domain.clone(), asns)

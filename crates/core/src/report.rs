@@ -76,7 +76,11 @@ impl Table {
                     .all(|c| c.is_ascii_digit() || ".,%kM-+()".contains(c))
         };
         let align: Vec<bool> = (0..cols)
-            .map(|i| self.rows.iter().all(|r| r[i].is_empty() || numericish(&r[i])))
+            .map(|i| {
+                self.rows
+                    .iter()
+                    .all(|r| r[i].is_empty() || numericish(&r[i]))
+            })
             .collect();
 
         let mut out = String::new();

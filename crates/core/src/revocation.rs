@@ -63,14 +63,13 @@ impl RevocationAnalysis {
             if r.not_after <= VALIDITY_CUTOFF {
                 continue;
             }
-            let row = rows.entry(r.issuer_org.clone()).or_insert_with(|| RevocationRow {
-                org: r.issuer_org.clone(),
-                ..RevocationRow::default()
-            });
-            let sanctioned = r
-                .domains
-                .iter()
-                .any(|d| sanctions.is_sanctioned(d, as_of));
+            let row = rows
+                .entry(r.issuer_org.clone())
+                .or_insert_with(|| RevocationRow {
+                    org: r.issuer_org.clone(),
+                    ..RevocationRow::default()
+                });
+            let sanctioned = r.domains.iter().any(|d| sanctions.is_sanctioned(d, as_of));
             let revoked = ocsp
                 .crl(&r.issuer_org)
                 .is_some_and(|crl| crl.is_revoked(r.serial, as_of));

@@ -121,13 +121,31 @@ mod tests {
         let snap = IpScanSnapshot {
             date: Date::from_ymd(2022, 5, 15),
             endpoints: vec![
-                ("10.0.0.1".parse().unwrap(), chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1)),
-                ("10.0.0.2".parse().unwrap(), chain("site.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 2)),
-                ("10.0.0.3".parse().unwrap(), chain("corp.com", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 3)),
-                ("10.0.0.4".parse().unwrap(), chain("пример.рф", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 4)),
-                ("10.0.0.5".parse().unwrap(), chain("ord.ru", "Let's Encrypt", &["ISRG"], 99)),
+                (
+                    "10.0.0.1".parse().unwrap(),
+                    chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1),
+                ),
+                (
+                    "10.0.0.2".parse().unwrap(),
+                    chain("site.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 2),
+                ),
+                (
+                    "10.0.0.3".parse().unwrap(),
+                    chain("corp.com", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 3),
+                ),
+                (
+                    "10.0.0.4".parse().unwrap(),
+                    chain("пример.рф", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 4),
+                ),
+                (
+                    "10.0.0.5".parse().unwrap(),
+                    chain("ord.ru", "Let's Encrypt", &["ISRG"], 99),
+                ),
                 // Duplicate serial from a second endpoint: counted once.
-                ("10.0.0.6".parse().unwrap(), chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1)),
+                (
+                    "10.0.0.6".parse().unwrap(),
+                    chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1),
+                ),
             ],
             silent: 0,
         };

@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn shares_can_exceed_100_in_total() {
         let d = Date::from_ymd(2022, 1, 1);
-        let s = sweep(d, vec![rec("a.ru", &["ns1.x.ru", "ns2.x.com", "ns3.x.net"])]);
+        let s = sweep(
+            d,
+            vec![rec("a.ru", &["ns1.x.ru", "ns2.x.com", "ns3.x.net"])],
+        );
         let mut usage = TldUsageSeries::new();
         usage.observe(&s);
         let sum = usage.share(d, "ru").unwrap()

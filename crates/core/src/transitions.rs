@@ -217,9 +217,30 @@ mod tests {
     fn peak_finds_the_event_day() {
         let mut flows = TransitionFlows::new(InfraKind::NameServers);
         let days = [
-            (Date::from_ymd(2022, 3, 1), vec![rec("a.ru", &["RU", "SE"]), rec("b.ru", &["RU", "SE"]), rec("c.ru", &["RU", "SE"])]),
-            (Date::from_ymd(2022, 3, 2), vec![rec("a.ru", &["RU", "SE"]), rec("b.ru", &["RU", "SE"]), rec("c.ru", &["RU"])]),
-            (Date::from_ymd(2022, 3, 3), vec![rec("a.ru", &["RU"]), rec("b.ru", &["RU"]), rec("c.ru", &["RU"])]),
+            (
+                Date::from_ymd(2022, 3, 1),
+                vec![
+                    rec("a.ru", &["RU", "SE"]),
+                    rec("b.ru", &["RU", "SE"]),
+                    rec("c.ru", &["RU", "SE"]),
+                ],
+            ),
+            (
+                Date::from_ymd(2022, 3, 2),
+                vec![
+                    rec("a.ru", &["RU", "SE"]),
+                    rec("b.ru", &["RU", "SE"]),
+                    rec("c.ru", &["RU"]),
+                ],
+            ),
+            (
+                Date::from_ymd(2022, 3, 3),
+                vec![
+                    rec("a.ru", &["RU"]),
+                    rec("b.ru", &["RU"]),
+                    rec("c.ru", &["RU"]),
+                ],
+            ),
         ];
         for (d, recs) in days {
             flows.observe(&sweep(d, recs));

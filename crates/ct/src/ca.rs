@@ -121,7 +121,13 @@ mod tests {
     fn issuance_basics() {
         let mut ca = lets_encrypt();
         let c = ca
-            .issue(&d("example.ru"), vec![d("www.example.ru")], 0, Date::from_ymd(2022, 1, 10), vec!["ISRG".into()])
+            .issue(
+                &d("example.ru"),
+                vec![d("www.example.ru")],
+                0,
+                Date::from_ymd(2022, 1, 10),
+                vec!["ISRG".into()],
+            )
             .unwrap();
         assert_eq!(c.serial, 1);
         assert_eq!(c.issuer.organization, "Let's Encrypt");
@@ -132,7 +138,13 @@ mod tests {
         assert_eq!(ca.issued_count(), 1);
 
         let c2 = ca
-            .issue(&d("example.ru"), vec![], 1, Date::from_ymd(2022, 1, 11), vec![])
+            .issue(
+                &d("example.ru"),
+                vec![],
+                1,
+                Date::from_ymd(2022, 1, 11),
+                vec![],
+            )
             .unwrap();
         assert_eq!(c2.serial, 2);
         assert_eq!(c2.issuer.common_name, "E1");
@@ -143,15 +155,33 @@ mod tests {
         let mut ca = lets_encrypt();
         ca.policy = CaPolicy::Suspended;
         assert!(ca
-            .issue(&d("example.ru"), vec![], 0, Date::from_ymd(2022, 3, 1), vec![])
+            .issue(
+                &d("example.ru"),
+                vec![],
+                0,
+                Date::from_ymd(2022, 3, 1),
+                vec![]
+            )
             .is_none());
         // SAN-based Russian match is also blocked.
         assert!(ca
-            .issue(&d("example.com"), vec![d("shop.example.ru")], 0, Date::from_ymd(2022, 3, 1), vec![])
+            .issue(
+                &d("example.com"),
+                vec![d("shop.example.ru")],
+                0,
+                Date::from_ymd(2022, 3, 1),
+                vec![]
+            )
             .is_none());
         // Non-Russian issuance continues.
         assert!(ca
-            .issue(&d("example.com"), vec![], 0, Date::from_ymd(2022, 3, 1), vec![])
+            .issue(
+                &d("example.com"),
+                vec![],
+                0,
+                Date::from_ymd(2022, 3, 1),
+                vec![]
+            )
             .is_some());
     }
 
@@ -165,7 +195,13 @@ mod tests {
             365,
         );
         let c = russian_ca
-            .issue(&d("sanctioned-bank.ru"), vec![], 0, Date::from_ymd(2022, 3, 10), vec!["Russian Trusted Root CA".into()])
+            .issue(
+                &d("sanctioned-bank.ru"),
+                vec![],
+                0,
+                Date::from_ymd(2022, 3, 10),
+                vec!["Russian Trusted Root CA".into()],
+            )
             .unwrap();
         assert!(!c.ct_logged);
         assert!(c.chain_contains_org("Russian Trusted Root CA"));
@@ -175,7 +211,9 @@ mod tests {
     #[test]
     fn brandless_ca_uses_org() {
         let mut ca = CertificateAuthority::new("cPanel", Country::US, &[], true, 90);
-        let c = ca.issue(&d("x.ru"), vec![], 7, Date::from_ymd(2022, 1, 1), vec![]).unwrap();
+        let c = ca
+            .issue(&d("x.ru"), vec![], 7, Date::from_ymd(2022, 1, 1), vec![])
+            .unwrap();
         assert_eq!(c.issuer.common_name, "cPanel");
     }
 }

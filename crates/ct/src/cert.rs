@@ -182,7 +182,10 @@ mod tests {
         c.chain_orgs = vec!["Russian Trusted Root CA".into()];
         assert!(c.chain_contains_org("Russian Trusted Root CA"));
         assert!(!c.chain_contains_org("DigiCert"));
-        assert!(c.chain_contains_org("Let's Encrypt"), "issuer itself counts");
+        assert!(
+            c.chain_contains_org("Let's Encrypt"),
+            "issuer itself counts"
+        );
     }
 
     #[test]

@@ -264,11 +264,7 @@ pub fn verify_inclusion(leaf: &Digest, proof: &InclusionProof, root: &Digest) ->
 }
 
 /// Verify a consistency proof between two roots (RFC 9162 §2.1.4.2).
-pub fn verify_consistency(
-    old_root: &Digest,
-    new_root: &Digest,
-    proof: &ConsistencyProof,
-) -> bool {
+pub fn verify_consistency(old_root: &Digest, new_root: &Digest, proof: &ConsistencyProof) -> bool {
     let (m, n) = (proof.old_size, proof.new_size);
     if m == 0 || m > n {
         return false;
@@ -459,7 +455,11 @@ mod tests {
         // Single-leaf tree: inclusion proof is empty.
         let proof = log.inclusion_proof(0, 1).unwrap();
         assert!(proof.audit_path.is_empty());
-        assert!(verify_inclusion(&log.leaf_at(0).unwrap(), &proof, &log.root_at(1).unwrap()));
+        assert!(verify_inclusion(
+            &log.leaf_at(0).unwrap(),
+            &proof,
+            &log.root_at(1).unwrap()
+        ));
     }
 
     #[test]

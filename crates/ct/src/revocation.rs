@@ -57,7 +57,8 @@ impl Crl {
         if self.revoked.contains_key(&serial) {
             return false;
         }
-        self.revoked.insert(serial, RevocationEntry { date, reason });
+        self.revoked
+            .insert(serial, RevocationEntry { date, reason });
         true
     }
 
@@ -157,7 +158,11 @@ mod tests {
     fn crl_basics() {
         let mut crl = Crl::new("DigiCert");
         assert!(crl.is_empty());
-        assert!(crl.revoke(7, Date::from_ymd(2022, 3, 1), RevocationReason::PrivilegeWithdrawn));
+        assert!(crl.revoke(
+            7,
+            Date::from_ymd(2022, 3, 1),
+            RevocationReason::PrivilegeWithdrawn
+        ));
         assert!(!crl.revoke(7, Date::from_ymd(2022, 4, 1), RevocationReason::Unspecified));
         assert_eq!(crl.len(), 1);
         let e = crl.entry(7).unwrap();
@@ -172,12 +177,18 @@ mod tests {
     fn ocsp_statuses() {
         let mut ocsp = OcspResponder::new();
         ocsp.register_issuer("Sectigo", 100);
-        ocsp.crl_mut("Sectigo")
-            .revoke(42, Date::from_ymd(2022, 3, 10), RevocationReason::PrivilegeWithdrawn);
+        ocsp.crl_mut("Sectigo").revoke(
+            42,
+            Date::from_ymd(2022, 3, 10),
+            RevocationReason::PrivilegeWithdrawn,
+        );
 
         let d = Date::from_ymd(2022, 4, 1);
         assert_eq!(ocsp.status("Sectigo", 1, d), CertStatus::Good);
-        assert!(matches!(ocsp.status("Sectigo", 42, d), CertStatus::Revoked(_)));
+        assert!(matches!(
+            ocsp.status("Sectigo", 42, d),
+            CertStatus::Revoked(_)
+        ));
         // Before the revocation date the cert was still good.
         assert_eq!(
             ocsp.status("Sectigo", 42, Date::from_ymd(2022, 3, 9)),

@@ -25,7 +25,10 @@ fn cert(i: u64) -> Certificate {
 fn log_of(n: u64) -> CtLog {
     let mut log = CtLog::new("prop");
     for i in 0..n {
-        log.append(cert(i), Date::from_ymd(2022, 1, 1).add_days((i % 60) as i32));
+        log.append(
+            cert(i),
+            Date::from_ymd(2022, 1, 1).add_days((i % 60) as i32),
+        );
     }
     log
 }

@@ -223,7 +223,12 @@ impl Message {
             e.put_u16(q.rtype.code());
             e.put_u16(CLASS_IN);
         }
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             r.encode(&mut e);
         }
         e.finish()
@@ -394,7 +399,11 @@ mod tests {
     fn compression_across_sections() {
         // All records share the owner suffix; the encoded message must be
         // smaller than the sum of uncompressed parts.
-        let q = Message::query(9, name("verylonglabel-for-compression.example.ru"), RType::Ns);
+        let q = Message::query(
+            9,
+            name("verylonglabel-for-compression.example.ru"),
+            RType::Ns,
+        );
         let mut r = Message::response_to(&q, Rcode::NoError);
         for i in 0..4 {
             r.answers.push(Record::new(
@@ -405,12 +414,20 @@ mod tests {
         }
         let buf = r.encode().unwrap();
         let uncompressed: usize = 12
-            + r.questions[0].name.wire_len() + 4
+            + r.questions[0].name.wire_len()
+            + 4
             + r.answers
                 .iter()
-                .map(|rec| rec.name.wire_len() + 10 + 16 /* ns name approx */)
+                .map(
+                    |rec| rec.name.wire_len() + 10 + 16, /* ns name approx */
+                )
                 .sum::<usize>();
-        assert!(buf.len() < uncompressed, "{} !< {}", buf.len(), uncompressed);
+        assert!(
+            buf.len() < uncompressed,
+            "{} !< {}",
+            buf.len(),
+            uncompressed
+        );
         assert_eq!(Message::decode(&buf).unwrap(), r);
     }
 }

@@ -266,7 +266,12 @@ mod tests {
 
     #[test]
     fn roundtrip_simple() {
-        for s in ["example.ru.", "www.example.ru.", "xn--e1afmkfd.xn--p1ai.", "."] {
+        for s in [
+            "example.ru.",
+            "www.example.ru.",
+            "xn--e1afmkfd.xn--p1ai.",
+            ".",
+        ] {
             let n: Name = s.parse().unwrap();
             assert_eq!(enc_dec(&n), n);
             assert_eq!(n.to_string(), s);

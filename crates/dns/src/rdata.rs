@@ -358,8 +358,16 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let records = [
-            Record::new(name("example.ru"), 300, RData::A("192.0.2.1".parse().unwrap())),
-            Record::new(name("example.ru"), 300, RData::Aaaa("2001:db8::1".parse().unwrap())),
+            Record::new(
+                name("example.ru"),
+                300,
+                RData::A("192.0.2.1".parse().unwrap()),
+            ),
+            Record::new(
+                name("example.ru"),
+                300,
+                RData::Aaaa("2001:db8::1".parse().unwrap()),
+            ),
             Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.hoster.ru"))),
             Record::new(name("www.example.ru"), 60, RData::Cname(name("example.ru"))),
             Record::new(
@@ -375,7 +383,11 @@ mod tests {
                     minimum: 3600,
                 }),
             ),
-            Record::new(name("example.ru"), 300, RData::Mx(10, name("mx.example.ru"))),
+            Record::new(
+                name("example.ru"),
+                300,
+                RData::Mx(10, name("mx.example.ru")),
+            ),
             Record::new(
                 name("example.ru"),
                 300,
@@ -456,9 +468,17 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let r = Record::new(name("example.ru"), 300, RData::Mx(10, name("mx.example.ru")));
+        let r = Record::new(
+            name("example.ru"),
+            300,
+            RData::Mx(10, name("mx.example.ru")),
+        );
         assert_eq!(r.to_string(), "example.ru. 300 IN MX 10 mx.example.ru.");
-        let r = Record::new(name("example.ru"), 60, RData::A("192.0.2.7".parse().unwrap()));
+        let r = Record::new(
+            name("example.ru"),
+            60,
+            RData::A("192.0.2.7".parse().unwrap()),
+        );
         assert_eq!(r.to_string(), "example.ru. 60 IN A 192.0.2.7");
     }
 

@@ -47,7 +47,9 @@ impl fmt::Display for WireError {
             WireError::BadRdataLength => write!(f, "rdata length mismatch"),
             WireError::UnknownType(t) => write!(f, "unknown RR type {t}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
-            WireError::TooBig(n) => write!(f, "encoded message is {n} bytes (limit {MAX_MESSAGE_SIZE})"),
+            WireError::TooBig(n) => {
+                write!(f, "encoded message is {n} bytes (limit {MAX_MESSAGE_SIZE})")
+            }
             WireError::BadLabel => write!(f, "invalid label content"),
         }
     }
@@ -233,7 +235,10 @@ mod tests {
         e.put_u32(0xDEADBEEF);
         e.put_slice(b"xyz");
         let out = e.finish().unwrap();
-        assert_eq!(out, [0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, b'x', b'y', b'z']);
+        assert_eq!(
+            out,
+            [0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, b'x', b'y', b'z']
+        );
     }
 
     #[test]

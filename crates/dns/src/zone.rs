@@ -86,7 +86,11 @@ impl Zone {
 
     /// The SOA as a full record at the apex.
     pub fn soa_record(&self) -> Record {
-        Record::new(self.origin.clone(), self.soa_ttl, RData::Soa(self.soa.clone()))
+        Record::new(
+            self.origin.clone(),
+            self.soa_ttl,
+            RData::Soa(self.soa.clone()),
+        )
     }
 
     /// Mutable access to the serial, bumped by the registry on each snapshot.
@@ -100,7 +104,10 @@ impl Zone {
         if !record.name.is_subdomain_of(&self.origin) {
             return false;
         }
-        self.records.entry(record.name.clone()).or_default().push(record);
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
         true
     }
 
@@ -166,7 +173,9 @@ impl Zone {
         let depth = qlabels.len() - self.origin.label_count();
         for take in 1..=depth {
             let cut = Name::from_labels(
-                qlabels[qlabels.len() - self.origin.label_count() - take..].iter().copied(),
+                qlabels[qlabels.len() - self.origin.label_count() - take..]
+                    .iter()
+                    .copied(),
             )
             .expect("sub-slice of a valid name");
             if let Some(recs) = self.records.get(&cut) {
@@ -268,9 +277,7 @@ impl Zone {
             let record = parse_record_line(line).map_err(|reason| err(lineno, &reason))?;
             match (&mut zone, &record.data) {
                 (None, RData::Soa(soa)) => {
-                    let origin = origin
-                        .clone()
-                        .unwrap_or_else(|| record.name.clone());
+                    let origin = origin.clone().unwrap_or_else(|| record.name.clone());
                     if record.name != origin {
                         return Err(err(lineno, "SOA owner differs from $ORIGIN"));
                     }
@@ -305,8 +312,8 @@ fn parse_record_line(line: &str) -> Result<Record, String> {
     if !class.eq_ignore_ascii_case("IN") {
         return Err(format!("unsupported class {class}"));
     }
-    let rtype = RType::from_mnemonic(tok.next().ok_or("missing type")?)
-        .ok_or("unknown record type")?;
+    let rtype =
+        RType::from_mnemonic(tok.next().ok_or("missing type")?).ok_or("unknown record type")?;
     let rest: Vec<&str> = tok.collect();
     let p = |s: &str| -> Result<Name, String> { s.parse().map_err(|e| format!("bad name: {e}")) };
 
@@ -330,7 +337,9 @@ fn parse_record_line(line: &str) -> Result<Record, String> {
                 return Err("MX needs preference and target".into());
             }
             RData::Mx(
-                rest[0].parse().map_err(|_| "bad MX preference".to_owned())?,
+                rest[0]
+                    .parse()
+                    .map_err(|_| "bad MX preference".to_owned())?,
                 p(rest[1])?,
             )
         }
@@ -386,7 +395,9 @@ fn parse_record_line(line: &str) -> Result<Record, String> {
             RData::Ds(
                 rest[0].parse().map_err(|_| "bad DS key tag".to_owned())?,
                 rest[1].parse().map_err(|_| "bad DS algorithm".to_owned())?,
-                rest[2].parse().map_err(|_| "bad DS digest type".to_owned())?,
+                rest[2]
+                    .parse()
+                    .map_err(|_| "bad DS digest type".to_owned())?,
                 digest.map_err(|_| "bad DS digest hex".to_owned())?,
             )
         }
@@ -413,14 +424,26 @@ mod tests {
             minimum: 3600,
         };
         let mut z = Zone::new(name("ru"), soa, 86400);
-        z.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns1.example.ru"))));
-        z.add(Record::new(name("example.ru"), 3600, RData::Ns(name("ns2.hoster.com"))));
+        z.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns1.example.ru")),
+        ));
+        z.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ns(name("ns2.hoster.com")),
+        ));
         z.add(Record::new(
             name("ns1.example.ru"),
             3600,
             RData::A("198.51.100.53".parse().unwrap()),
         ));
-        z.add(Record::new(name("other.ru"), 3600, RData::Ns(name("dns.other.ru"))));
+        z.add(Record::new(
+            name("other.ru"),
+            3600,
+            RData::Ns(name("dns.other.ru")),
+        ));
         z
     }
 
@@ -467,7 +490,11 @@ mod tests {
     #[test]
     fn lookup_ds_is_parent_side() {
         let mut z = tld_zone();
-        z.add(Record::new(name("example.ru"), 3600, RData::Ds(1, 8, 2, vec![0xAA])));
+        z.add(Record::new(
+            name("example.ru"),
+            3600,
+            RData::Ds(1, 8, 2, vec![0xAA]),
+        ));
         match z.lookup(&name("example.ru"), RType::Ds) {
             Lookup::Answer(recs) => assert_eq!(recs.len(), 1),
             other => panic!("expected DS answer, got {other:?}"),
@@ -496,8 +523,16 @@ mod tests {
     fn cname_lookup() {
         let soa = tld_zone().soa().clone();
         let mut z = Zone::new(name("example.ru"), soa, 3600);
-        z.add(Record::new(name("www.example.ru"), 60, RData::Cname(name("example.ru"))));
-        z.add(Record::new(name("example.ru"), 60, RData::A("192.0.2.2".parse().unwrap())));
+        z.add(Record::new(
+            name("www.example.ru"),
+            60,
+            RData::Cname(name("example.ru")),
+        ));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::A("192.0.2.2".parse().unwrap()),
+        ));
         match z.lookup(&name("www.example.ru"), RType::A) {
             Lookup::Cname(r) => assert_eq!(r.name, name("www.example.ru")),
             other => panic!("expected CNAME, got {other:?}"),
@@ -529,16 +564,36 @@ mod tests {
     fn text_roundtrip_all_rdata() {
         let soa = tld_zone().soa().clone();
         let mut z = Zone::new(name("example.ru"), soa, 3600);
-        z.add(Record::new(name("example.ru"), 60, RData::A("192.0.2.2".parse().unwrap())));
-        z.add(Record::new(name("example.ru"), 60, RData::Aaaa("2001:db8::2".parse().unwrap())));
-        z.add(Record::new(name("example.ru"), 60, RData::Mx(10, name("mx.example.ru"))));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::A("192.0.2.2".parse().unwrap()),
+        ));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::Aaaa("2001:db8::2".parse().unwrap()),
+        ));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::Mx(10, name("mx.example.ru")),
+        ));
         z.add(Record::new(
             name("example.ru"),
             60,
             RData::Txt(vec![b"v=spf1 -all".to_vec()]),
         ));
-        z.add(Record::new(name("example.ru"), 60, RData::Ds(7, 8, 2, vec![0xDE, 0xAD])));
-        z.add(Record::new(name("www.example.ru"), 60, RData::Cname(name("example.ru"))));
+        z.add(Record::new(
+            name("example.ru"),
+            60,
+            RData::Ds(7, 8, 2, vec![0xDE, 0xAD]),
+        ));
+        z.add(Record::new(
+            name("www.example.ru"),
+            60,
+            RData::Cname(name("example.ru")),
+        ));
         let back = Zone::from_text(&z.to_text()).unwrap();
         assert_eq!(back, z);
     }
@@ -579,11 +634,8 @@ impl ZoneDiff {
         let ns_sets = |z: &Zone| -> std::collections::BTreeMap<Name, Vec<String>> {
             z.delegations()
                 .map(|owner| {
-                    let mut targets: Vec<String> = z
-                        .ns_at(owner)
-                        .iter()
-                        .map(|r| r.to_string())
-                        .collect();
+                    let mut targets: Vec<String> =
+                        z.ns_at(owner).iter().map(|r| r.to_string()).collect();
                     targets.sort();
                     (owner.clone(), targets)
                 })
@@ -644,8 +696,16 @@ mod diff_tests {
 
     #[test]
     fn diff_detects_all_change_kinds() {
-        let old = zone(&[("a.ru", "ns1.x.ru"), ("b.ru", "ns1.x.ru"), ("c.ru", "ns1.x.ru")]);
-        let new = zone(&[("a.ru", "ns1.x.ru"), ("b.ru", "ns2.y.com"), ("d.ru", "ns1.x.ru")]);
+        let old = zone(&[
+            ("a.ru", "ns1.x.ru"),
+            ("b.ru", "ns1.x.ru"),
+            ("c.ru", "ns1.x.ru"),
+        ]);
+        let new = zone(&[
+            ("a.ru", "ns1.x.ru"),
+            ("b.ru", "ns2.y.com"),
+            ("d.ru", "ns1.x.ru"),
+        ]);
         let diff = ZoneDiff::between(&old, &new);
         assert_eq!(diff.added, vec![name("d.ru")]);
         assert_eq!(diff.removed, vec![name("c.ru")]);

@@ -20,14 +20,35 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
             }),
         (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
             .prop_map(RData::Txt),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..40)
+        )
             .prop_map(|(t, a, d, dg)| RData::Ds(t, a, d, dg)),
     ]
 }
@@ -37,8 +58,15 @@ fn arb_record() -> impl Strategy<Value = Record> {
 }
 
 fn arb_flags() -> impl Strategy<Value = Flags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0u8..16).prop_map(
-        |(qr, aa, tc, rd, ra, rc)| Flags {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
+        .prop_map(|(qr, aa, tc, rd, ra, rc)| Flags {
             qr,
             opcode: Opcode::Query,
             aa,
@@ -54,27 +82,34 @@ fn arb_flags() -> impl Strategy<Value = Flags> {
                 5 => Rcode::Refused,
                 c => Rcode::Other(c),
             },
-        },
-    )
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
     (
         any::<u16>(),
         arb_flags(),
-        proptest::collection::vec((arb_name(), prop_oneof![Just(RType::A), Just(RType::Ns), Just(RType::Aaaa)]), 0..2),
+        proptest::collection::vec(
+            (
+                arb_name(),
+                prop_oneof![Just(RType::A), Just(RType::Ns), Just(RType::Aaaa)],
+            ),
+            0..2,
+        ),
         proptest::collection::vec(arb_record(), 0..4),
         proptest::collection::vec(arb_record(), 0..3),
         proptest::collection::vec(arb_record(), 0..3),
     )
-        .prop_map(|(id, flags, qs, answers, authorities, additionals)| Message {
-            id,
-            flags,
-            questions: qs.into_iter().map(|(n, t)| Question::new(n, t)).collect(),
-            answers,
-            authorities,
-            additionals,
-        })
+        .prop_map(
+            |(id, flags, qs, answers, authorities, additionals)| Message {
+                id,
+                flags,
+                questions: qs.into_iter().map(|(n, t)| Question::new(n, t)).collect(),
+                answers,
+                authorities,
+                additionals,
+            },
+        )
 }
 
 proptest! {

@@ -260,8 +260,16 @@ mod tests {
         use ruwhere_netsim::AsInfo;
         use ruwhere_types::{Asn, SeedTree};
         let mut topo = Topology::new(SeedTree::new(1));
-        topo.add_as(AsInfo { asn: Asn(1), org: "RU-HOST".into(), country: Country::RU });
-        topo.add_as(AsInfo { asn: Asn(2), org: "NL-HOST".into(), country: Country::NL });
+        topo.add_as(AsInfo {
+            asn: Asn(1),
+            org: "RU-HOST".into(),
+            country: Country::RU,
+        });
+        topo.add_as(AsInfo {
+            asn: Asn(2),
+            org: "NL-HOST".into(),
+            country: Country::NL,
+        });
         topo.announce("5.0.0.0/8".parse().unwrap(), Asn(1));
         topo.announce("31.0.0.0/8".parse().unwrap(), Asn(2));
         let db = GeoDbBuilder::from_topology(&topo).build();

@@ -42,7 +42,10 @@ pub struct FaultWindow {
 impl FaultWindow {
     /// Window covering `[start, end)`.
     pub const fn between(start: SimTime, end: SimTime) -> Self {
-        FaultWindow { start, end: Some(end) }
+        FaultWindow {
+            start,
+            end: Some(end),
+        }
     }
 
     /// Open-ended window starting at `start`.
@@ -52,7 +55,10 @@ impl FaultWindow {
 
     /// Window covering all of virtual time.
     pub const fn always() -> Self {
-        FaultWindow { start: SimTime::ZERO, end: None }
+        FaultWindow {
+            start: SimTime::ZERO,
+            end: None,
+        }
     }
 
     /// Whether `t` falls inside the window.
@@ -342,7 +348,11 @@ mod tests {
     fn uniform_loss_is_whole_internet_always_on() {
         let plan = FaultPlan::uniform_loss(0.25);
         let faults: Vec<_> = plan
-            .active_link_faults(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), SimTime(0))
+            .active_link_faults(
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(5, 6, 7, 8),
+                SimTime(0),
+            )
             .collect();
         assert_eq!(faults.len(), 1);
         assert_eq!(faults[0].1.extra_loss, 0.25);

@@ -59,5 +59,5 @@ pub mod topology;
 pub use fault::{FaultPlan, FaultWindow, LinkFault, ServerFault, ServerFaultMode};
 pub use ip::{IpAllocator, Ipv4Net, PrefixParseError};
 pub use routing::RoutingTable;
-pub use sim::{Datagram, NetError, Network, Service, SimTime};
+pub use sim::{Datagram, Lane, NetError, NetStats, Network, Service, SimTime, Transport};
 pub use topology::{AsInfo, Topology};

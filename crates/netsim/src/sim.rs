@@ -10,6 +10,7 @@
 
 use crate::fault::FaultPlan;
 use crate::topology::Topology;
+use parking_lot::RwLock;
 use ruwhere_types::SeedTree;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -59,16 +60,58 @@ pub struct Datagram {
 }
 
 /// A request/response server bound to an address and port.
-pub trait Service {
+///
+/// `Send` is required so the service table can be shared across sweep
+/// worker threads (each endpoint is guarded by its own mutex; see
+/// [`Lane`]).
+pub trait Service: Send + Sync {
     /// Handle one datagram payload; return the reply payload, or `None` to
     /// stay silent (the client will time out — how a black-holed or
     /// decommissioned server manifests to a scanner).
     fn handle(&mut self, payload: &[u8], src: (Ipv4Addr, u16), now: SimTime) -> Option<Vec<u8>>;
 
+    /// Shared-access handler for services whose `handle` needs no
+    /// exclusive state (e.g. an authoritative DNS server answering from a
+    /// shared zone set). Returning `Some(reply)` answers under a read
+    /// lock, so parallel sweep lanes querying the same box proceed
+    /// concurrently instead of serializing on its endpoint lock — the
+    /// single TLD server is on every domain's resolution path. Return
+    /// `None` (the default) to fall back to the exclusive
+    /// [`handle`](Service::handle) path; the inner option has `handle`'s
+    /// semantics (`None` = stay silent).
+    fn handle_concurrent(
+        &self,
+        _payload: &[u8],
+        _src: (Ipv4Addr, u16),
+        _now: SimTime,
+    ) -> Option<Option<Vec<u8>>> {
+        None
+    }
+
     /// Server-side processing delay in microseconds (default 100 µs).
     fn processing_us(&self) -> u64 {
         100
     }
+}
+
+/// Hand a datagram to a bound service: the concurrent read path when the
+/// service supports it, the exclusive write path otherwise. Returns the
+/// reply (or silence) and the service's processing delay.
+fn dispatch(
+    cell: &RwLock<Box<dyn Service>>,
+    payload: &[u8],
+    src: (Ipv4Addr, u16),
+    now: SimTime,
+) -> (Option<Vec<u8>>, u64) {
+    {
+        let svc = cell.read();
+        if let Some(reply) = svc.handle_concurrent(payload, src, now) {
+            return (reply, svc.processing_us());
+        }
+    }
+    let mut svc = cell.write();
+    let reply = svc.handle(payload, src, now);
+    (reply, svc.processing_us())
 }
 
 /// Transport-level failures visible to a client.
@@ -110,11 +153,33 @@ enum Event {
     Deliver(Datagram),
 }
 
+/// A synchronous request/response transport: the interface measurement
+/// clients (the iterative resolver, scanners) drive.
+///
+/// Implemented by [`Network`] (the serial engine: requests advance the
+/// global virtual clock) and by [`Lane`] (a per-worker view with its own
+/// clock, for parallel sweeps).
+pub trait Transport {
+    /// Current virtual time on this transport's clock.
+    fn now(&self) -> SimTime;
+
+    /// Synchronous request/response with retries (see
+    /// [`Network::request`] for the semantics).
+    fn request(
+        &mut self,
+        src_ip: Ipv4Addr,
+        dst: (Ipv4Addr, u16),
+        payload: &[u8],
+        timeout_us: u64,
+        attempts: u32,
+    ) -> Result<Vec<u8>, NetError>;
+}
+
 /// The simulated network: topology + services + event queue.
 pub struct Network {
     topo: Topology,
     seed: SeedTree,
-    services: HashMap<(Ipv4Addr, u16), Box<dyn Service>>,
+    services: HashMap<(Ipv4Addr, u16), RwLock<Box<dyn Service>>>,
     queue: BinaryHeap<Reverse<(SimTime, u64)>>,
     pending: HashMap<u64, Event>,
     now: SimTime,
@@ -184,7 +249,7 @@ impl Network {
 
     /// Bind a service to `addr:port`, replacing any previous binding.
     pub fn bind(&mut self, addr: Ipv4Addr, port: u16, service: Box<dyn Service>) {
-        self.services.insert((addr, port), service);
+        self.services.insert((addr, port), RwLock::new(service));
     }
 
     /// Remove the service at `addr:port` (the provider shut the box down).
@@ -241,14 +306,16 @@ impl Network {
             return false;
         }
         let base = self.seed.child("linkfault").child_idx(seq);
-        self.faults.active_link_faults(a, b, self.now).any(|(i, f)| {
-            if f.extra_loss <= 0.0 {
-                return false;
-            }
-            let h = base.child_idx(i as u64).seed();
-            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-            u < f.extra_loss
-        })
+        self.faults
+            .active_link_faults(a, b, self.now)
+            .any(|(i, f)| {
+                if f.extra_loss <= 0.0 {
+                    return false;
+                }
+                let h = base.child_idx(i as u64).seed();
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                u < f.extra_loss
+            })
     }
 
     fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, packet_id: u64) -> Option<u64> {
@@ -313,14 +380,12 @@ impl Network {
             self.stats.faulted += 1;
             return;
         }
-        let Some(mut svc) = self.services.remove(&key) else {
+        let Some(cell) = self.services.get(&key) else {
             self.stats.unreachable += 1;
             return;
         };
         self.stats.delivered += 1;
-        let reply = svc.handle(&dgram.payload, dgram.src, self.now);
-        let proc = svc.processing_us();
-        self.services.insert(key, svc);
+        let (reply, proc) = dispatch(cell, &dgram.payload, dgram.src, self.now);
         if let Some(payload) = reply {
             let seq = self.next_seq();
             self.stats.sent += 1;
@@ -375,6 +440,240 @@ impl Network {
         }
         Err(NetError::Timeout)
     }
+
+    /// Open a measurement [`Lane`]: an independent virtual clock over this
+    /// network's shared topology, services, and fault plan.
+    ///
+    /// The lane starts at the network's current instant and draws its
+    /// loss/jitter streams from `key`, NOT from the network's global packet
+    /// sequence — so a lane's traffic is a pure function of (network
+    /// snapshot, key, start instant), independent of any other lane and of
+    /// which thread drives it. This is the determinism foundation of the
+    /// parallel sweep engine.
+    pub fn lane(&self, key: &str) -> Lane<'_> {
+        let start = self.now;
+        Lane {
+            net: self,
+            stream: self.seed.child("lane").child(key),
+            start,
+            now: start,
+            seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Merge a finished lane's transport counters into the global ones.
+    pub fn absorb_lane_stats(&mut self, stats: NetStats) {
+        self.stats.merge(stats);
+    }
+
+    /// Advance the global clock to `t` (no-op if `t` is in the past),
+    /// delivering any still-queued datagrams due by then. Used by the sweep
+    /// engine to account the wall-clock of a set of concurrent lanes back
+    /// into the serial timeline.
+    pub fn advance_to_time(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        // Nobody is watching: every due event is delivered to its service
+        // (or dropped as unreachable) and time lands exactly on `t`.
+        let _ = self.run_until(t, (Ipv4Addr::UNSPECIFIED, 0));
+    }
+}
+
+impl Transport for Network {
+    fn now(&self) -> SimTime {
+        Network::now(self)
+    }
+
+    fn request(
+        &mut self,
+        src_ip: Ipv4Addr,
+        dst: (Ipv4Addr, u16),
+        payload: &[u8],
+        timeout_us: u64,
+        attempts: u32,
+    ) -> Result<Vec<u8>, NetError> {
+        Network::request(self, src_ip, dst, payload, timeout_us, attempts)
+    }
+}
+
+impl NetStats {
+    /// Field-wise sum, for folding per-lane counters into a total.
+    pub fn merge(&mut self, other: NetStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.delivered += other.delivered;
+        self.unreachable += other.unreachable;
+        self.faulted += other.faulted;
+    }
+}
+
+/// A per-worker view of a [`Network`] with its own virtual clock.
+///
+/// All lanes of a sweep start at the same instant and run *logically
+/// concurrently*: each models one of the many outstanding resolutions an
+/// OpenINTEL-style pipeline keeps in flight. A lane only reads the shared
+/// network (`&Network`); stateful services are reached through their
+/// per-endpoint mutexes, so any number of lanes may be driven from
+/// different threads at once.
+///
+/// Determinism contract: a lane's entire behaviour (latency, jitter, loss,
+/// fault interaction) depends only on the network snapshot, the lane key
+/// and the start instant — never on other lanes or scheduling order.
+/// Unlike the serial engine, a reply that would land after the attempt
+/// deadline is simply a timeout (there is no cross-request event queue for
+/// it to linger in).
+pub struct Lane<'a> {
+    net: &'a Network,
+    stream: SeedTree,
+    start: SimTime,
+    now: SimTime,
+    seq: u64,
+    stats: NetStats,
+}
+
+impl Lane<'_> {
+    /// Virtual time elapsed on this lane since it was opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.now.as_micros() - self.start.as_micros()
+    }
+
+    /// The lane's current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transport counters accumulated on this lane (merge back into the
+    /// network with [`Network::absorb_lane_stats`]).
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Deterministic Bernoulli draw for this lane's packet `seq` against
+    /// probability `p`.
+    fn bernoulli(&self, label: &str, seq: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = self.stream.child(label).child_idx(seq).seed();
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Whether packet `seq` on the path `a`→`b` is lost (uniform loss or an
+    /// active link fault), mirroring the serial engine's two processes but
+    /// keyed by the lane stream.
+    fn lost(&self, seq: u64, a: Ipv4Addr, b: Ipv4Addr, at: SimTime) -> bool {
+        if self.bernoulli("loss", seq, self.net.loss_rate) {
+            return true;
+        }
+        if self.net.faults.is_empty() {
+            return false;
+        }
+        let base = self.stream.child("linkfault").child_idx(seq);
+        self.net.faults.active_link_faults(a, b, at).any(|(i, f)| {
+            if f.extra_loss <= 0.0 {
+                return false;
+            }
+            let h = base.child_idx(i as u64).seed();
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            u < f.extra_loss
+        })
+    }
+
+    /// One-way latency for this lane's packet `seq`, `None` if either side
+    /// is unrouted.
+    fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, seq: u64) -> Option<u64> {
+        let a = self.net.topo.asn_of(from)?;
+        let b = self.net.topo.asn_of(to)?;
+        let packet_id = self.stream.child("pkt").child_idx(seq).seed();
+        let degraded = self.net.faults.extra_latency_us(from, to, self.now);
+        Some(self.net.topo.latency_us(a, b) + self.net.topo.jitter_us(a, b, packet_id) + degraded)
+    }
+}
+
+impl Transport for Lane<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn request(
+        &mut self,
+        src_ip: Ipv4Addr,
+        dst: (Ipv4Addr, u16),
+        payload: &[u8],
+        timeout_us: u64,
+        attempts: u32,
+    ) -> Result<Vec<u8>, NetError> {
+        if self.net.topo.asn_of(src_ip).is_none() {
+            return Err(NetError::NoRoute);
+        }
+        for _attempt in 0..attempts.max(1) {
+            let deadline = self.now.plus_us(timeout_us);
+            self.seq += 1;
+            let out_seq = self.seq;
+            self.stats.sent += 1;
+            let src = (src_ip, 49152 + (out_seq % 16384) as u16);
+            let Some(lat) = self.one_way_us(src_ip, dst.0, out_seq) else {
+                // Unrouted destination: nothing is scheduled; the attempt
+                // waits out its timeout, as in the serial engine.
+                self.now = deadline;
+                continue;
+            };
+            if self.lost(out_seq, src_ip, dst.0, self.now) {
+                self.stats.dropped += 1;
+                self.now = deadline;
+                continue;
+            }
+            let at = self.now.plus_us(lat);
+            if at > deadline {
+                self.now = deadline;
+                continue;
+            }
+            // Arrival at the box: faults first, then the service.
+            if self.net.faults.server_down(dst.0, dst.1, at) {
+                self.stats.faulted += 1;
+                self.now = deadline;
+                continue;
+            }
+            let Some(cell) = self.net.services.get(&dst) else {
+                self.stats.unreachable += 1;
+                self.now = deadline;
+                continue;
+            };
+            let (reply, proc) = dispatch(cell, payload, src, at);
+            self.stats.delivered += 1;
+            let Some(reply) = reply else {
+                // Silent server: wait out the timeout.
+                self.now = deadline;
+                continue;
+            };
+            // The reply datagram pays its own loss draw and latency.
+            self.seq += 1;
+            let back_seq = self.seq;
+            self.stats.sent += 1;
+            if self.lost(back_seq, dst.0, src_ip, at) {
+                self.stats.dropped += 1;
+                self.now = deadline;
+                continue;
+            }
+            let Some(back_lat) = self.one_way_us(dst.0, src_ip, back_seq) else {
+                self.now = deadline;
+                continue;
+            };
+            let back_at = at.plus_us(proc + back_lat);
+            if back_at > deadline {
+                // Too late: counts as this attempt's timeout.
+                self.now = deadline;
+                continue;
+            }
+            self.now = back_at;
+            self.stats.delivered += 1;
+            return Ok(reply);
+        }
+        Err(NetError::Timeout)
+    }
 }
 
 #[cfg(test)]
@@ -385,7 +684,12 @@ mod tests {
 
     struct Echo;
     impl Service for Echo {
-        fn handle(&mut self, payload: &[u8], _src: (Ipv4Addr, u16), _now: SimTime) -> Option<Vec<u8>> {
+        fn handle(
+            &mut self,
+            payload: &[u8],
+            _src: (Ipv4Addr, u16),
+            _now: SimTime,
+        ) -> Option<Vec<u8>> {
             let mut v = payload.to_vec();
             v.reverse();
             Some(v)
@@ -401,8 +705,16 @@ mod tests {
 
     fn network() -> Network {
         let mut topo = Topology::new(SeedTree::new(5).child("topo"));
-        topo.add_as(AsInfo { asn: Asn(100), org: "CLIENT".into(), country: Country::NL });
-        topo.add_as(AsInfo { asn: Asn(200), org: "SERVER".into(), country: Country::RU });
+        topo.add_as(AsInfo {
+            asn: Asn(100),
+            org: "CLIENT".into(),
+            country: Country::NL,
+        });
+        topo.add_as(AsInfo {
+            asn: Asn(200),
+            org: "SERVER".into(),
+            country: Country::RU,
+        });
         topo.announce("10.0.0.0/8".parse().unwrap(), Asn(100));
         topo.announce("192.0.2.0/24".parse().unwrap(), Asn(200));
         Network::new(topo, SeedTree::new(5).child("net"))
@@ -416,7 +728,9 @@ mod tests {
         let mut net = network();
         net.bind(SERVER, 53, Box::new(Echo));
         let t0 = net.now();
-        let reply = net.request(CLIENT, (SERVER, 53), b"abc", 5_000_000, 1).unwrap();
+        let reply = net
+            .request(CLIENT, (SERVER, 53), b"abc", 5_000_000, 1)
+            .unwrap();
         assert_eq!(reply, b"cba");
         // Time advanced by a plausible RTT (2 one-way latencies + proc).
         let elapsed = net.now().as_micros() - t0.as_micros();
@@ -428,7 +742,9 @@ mod tests {
     fn timeout_when_no_service() {
         let mut net = network();
         let t0 = net.now();
-        let err = net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 2).unwrap_err();
+        let err = net
+            .request(CLIENT, (SERVER, 53), b"x", 1_000_000, 2)
+            .unwrap_err();
         assert_eq!(err, NetError::Timeout);
         assert_eq!(net.now().as_micros() - t0.as_micros(), 2_000_000);
         assert_eq!(net.stats().unreachable, 2);
@@ -438,7 +754,9 @@ mod tests {
     fn timeout_when_server_silent() {
         let mut net = network();
         net.bind(SERVER, 53, Box::new(Silent));
-        let err = net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).unwrap_err();
+        let err = net
+            .request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1)
+            .unwrap_err();
         assert_eq!(err, NetError::Timeout);
         assert_eq!(net.stats().delivered, 1);
     }
@@ -458,10 +776,14 @@ mod tests {
         let mut net = network();
         net.bind(SERVER, 53, Box::new(Echo));
         assert!(net.is_bound(SERVER, 53));
-        assert!(net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).is_ok());
+        assert!(net
+            .request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1)
+            .is_ok());
         assert!(net.unbind(SERVER, 53));
         assert!(!net.unbind(SERVER, 53));
-        assert!(net.request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1).is_err());
+        assert!(net
+            .request(CLIENT, (SERVER, 53), b"x", 1_000_000, 1)
+            .is_err());
     }
 
     #[test]
@@ -505,7 +827,9 @@ mod tests {
         let mut net = network();
         net.bind(SERVER, 80, Box::new(Counter(0)));
         for expect in 1..=3u64 {
-            let r = net.request(CLIENT, (SERVER, 80), b"", 1_000_000, 1).unwrap();
+            let r = net
+                .request(CLIENT, (SERVER, 80), b"", 1_000_000, 1)
+                .unwrap();
             assert_eq!(r, expect.to_be_bytes());
         }
     }
@@ -533,7 +857,10 @@ mod tests {
         // Burn time into the window via timeouts, observing the outage.
         let mut failures = 0;
         while net.now().as_micros() < 11_000_000 {
-            if net.request(CLIENT, (SERVER, 53), b"b", 1_000_000, 1).is_err() {
+            if net
+                .request(CLIENT, (SERVER, 53), b"b", 1_000_000, 1)
+                .is_err()
+            {
                 failures += 1;
             }
         }
@@ -552,7 +879,9 @@ mod tests {
             net.faults_mut().add_server_fault(ServerFault {
                 addr: SERVER,
                 port: None,
-                mode: ServerFaultMode::Flapping { period_us: 2_000_000 },
+                mode: ServerFaultMode::Flapping {
+                    period_us: 2_000_000,
+                },
                 window: FaultWindow::from(SimTime::ZERO),
             });
             let mut outcomes = Vec::new();
@@ -626,6 +955,9 @@ mod tests {
         let (ok_plan, dropped_plan) = run(0.0, 0.3);
         assert!(dropped_knob > 0 && dropped_plan > 0);
         let diff = ok_knob.abs_diff(ok_plan);
-        assert!(diff < 30, "knob {ok_knob} vs plan {ok_plan} diverge too far");
+        assert!(
+            diff < 30,
+            "knob {ok_knob} vs plan {ok_plan} diverge too far"
+        );
     }
 }

@@ -86,7 +86,9 @@ impl Topology {
 
     /// Country of the AS originating `ip`.
     pub fn country_of(&self, ip: Ipv4Addr) -> Option<Country> {
-        self.asn_of(ip).and_then(|a| self.as_info(a)).map(|i| i.country)
+        self.asn_of(ip)
+            .and_then(|a| self.as_info(a))
+            .map(|i| i.country)
     }
 
     /// All announced prefixes with their origin AS.
@@ -105,10 +107,18 @@ impl Topology {
     /// (5-150 ms) with a per-pair fixed draw, symmetric in its arguments.
     pub fn latency_us(&self, a: Asn, b: Asn) -> u64 {
         if a == b {
-            let h = self.seed.child("lat-intra").child_idx(u64::from(a.value())).seed();
+            let h = self
+                .seed
+                .child("lat-intra")
+                .child_idx(u64::from(a.value()))
+                .seed();
             return 200 + h % 1_800;
         }
-        let (lo, hi) = if a.value() <= b.value() { (a, b) } else { (b, a) };
+        let (lo, hi) = if a.value() <= b.value() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let node = self
             .seed
             .child("lat")
@@ -170,9 +180,15 @@ mod tests {
     fn lpm_origin() {
         let t = topo();
         assert_eq!(t.asn_of("52.1.2.3".parse().unwrap()), Some(Asn::AMAZON));
-        assert_eq!(t.asn_of("104.16.9.9".parse().unwrap()), Some(Asn::CLOUDFLARE));
+        assert_eq!(
+            t.asn_of("104.16.9.9".parse().unwrap()),
+            Some(Asn::CLOUDFLARE)
+        );
         assert_eq!(t.asn_of("8.8.8.8".parse().unwrap()), None);
-        assert_eq!(t.country_of("194.85.1.1".parse().unwrap()), Some(Country::RU));
+        assert_eq!(
+            t.country_of("194.85.1.1".parse().unwrap()),
+            Some(Country::RU)
+        );
     }
 
     #[test]
@@ -197,10 +213,16 @@ mod tests {
         let mut t = topo();
         let net: Ipv4Net = "194.85.32.0/24".parse().unwrap();
         t.announce(net, Asn::RU_CENTER);
-        assert_eq!(t.asn_of("194.85.32.1".parse().unwrap()), Some(Asn::RU_CENTER));
+        assert_eq!(
+            t.asn_of("194.85.32.1".parse().unwrap()),
+            Some(Asn::RU_CENTER)
+        );
         // The Netnod-style move: same prefix, new origin.
         t.announce(net, Asn::CLOUDFLARE);
-        assert_eq!(t.asn_of("194.85.32.1".parse().unwrap()), Some(Asn::CLOUDFLARE));
+        assert_eq!(
+            t.asn_of("194.85.32.1".parse().unwrap()),
+            Some(Asn::CLOUDFLARE)
+        );
         assert_eq!(
             t.prefixes().iter().filter(|(n, _)| *n == net).count(),
             1,

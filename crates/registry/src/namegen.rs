@@ -17,8 +17,8 @@ const ONSETS: &[&str] = &[
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "y", "ya", "yu", "ia"];
 const SUFFIXES: &[&str] = &[
-    "ov", "ev", "in", "sky", "stroy", "torg", "prom", "grad", "service", "market", "bank",
-    "media", "group", "trans", "tech", "invest", "snab", "mash", "les", "gaz",
+    "ov", "ev", "in", "sky", "stroy", "torg", "prom", "grad", "service", "market", "bank", "media",
+    "group", "trans", "tech", "invest", "snab", "mash", "les", "gaz",
 ];
 
 /// Cyrillic syllables for `.рф` names (converted to punycode by

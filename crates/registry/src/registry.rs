@@ -109,14 +109,19 @@ impl Registry {
 
     /// Renew `name` for `years` more years from its current expiry.
     pub fn renew(&mut self, name: &DomainName, years: u32) -> Result<Date, RegistryError> {
-        let reg = self.domains.get_mut(name).ok_or(RegistryError::NotRegistered)?;
+        let reg = self
+            .domains
+            .get_mut(name)
+            .ok_or(RegistryError::NotRegistered)?;
         reg.expires = reg.expires.add_days((365 * years) as i32);
         Ok(reg.expires)
     }
 
     /// Delete `name` immediately (registrant action).
     pub fn delete(&mut self, name: &DomainName) -> Result<Registration, RegistryError> {
-        self.domains.remove(name).ok_or(RegistryError::NotRegistered)
+        self.domains
+            .remove(name)
+            .ok_or(RegistryError::NotRegistered)
     }
 
     /// Replace the delegation for `name`.
@@ -125,7 +130,10 @@ impl Registry {
         name: &DomainName,
         delegation: Delegation,
     ) -> Result<(), RegistryError> {
-        let reg = self.domains.get_mut(name).ok_or(RegistryError::NotRegistered)?;
+        let reg = self
+            .domains
+            .get_mut(name)
+            .ok_or(RegistryError::NotRegistered)?;
         reg.delegation = delegation;
         Ok(())
     }
@@ -191,7 +199,11 @@ impl Registry {
             }
             let owner = Name::from(name);
             for ns in &reg.delegation.nameservers {
-                zone.add(Record::new(owner.clone(), 345_600, RData::Ns(Name::from(ns))));
+                zone.add(Record::new(
+                    owner.clone(),
+                    345_600,
+                    RData::Ns(Name::from(ns)),
+                ));
             }
             for (host, addrs) in &reg.delegation.glue {
                 let glue_owner = Name::from(host);
@@ -233,7 +245,10 @@ mod tests {
     fn register_validation() {
         let mut r = registry();
         let day = Date::from_ymd(2020, 1, 1);
-        assert_eq!(r.register(d("example.com"), day, 1), Err(RegistryError::WrongTld));
+        assert_eq!(
+            r.register(d("example.com"), day, 1),
+            Err(RegistryError::WrongTld)
+        );
         assert_eq!(
             r.register(d("sub.example.ru"), day, 1),
             Err(RegistryError::WrongTld),
@@ -253,7 +268,10 @@ mod tests {
         r.register(d("example.ru"), day, 1).unwrap();
         let new_expiry = r.renew(&d("example.ru"), 2).unwrap();
         assert_eq!(new_expiry, day.add_days(365 * 3));
-        assert_eq!(r.renew(&d("missing.ru"), 1), Err(RegistryError::NotRegistered));
+        assert_eq!(
+            r.renew(&d("missing.ru"), 1),
+            Err(RegistryError::NotRegistered)
+        );
     }
 
     #[test]
@@ -263,7 +281,10 @@ mod tests {
         r.register(d("expiring.ru"), day, 1).unwrap();
         r.register(d("longlived.ru"), day, 5).unwrap();
 
-        assert!(r.process_expirations(day.add_days(365)).is_empty(), "expiry day itself keeps the name");
+        assert!(
+            r.process_expirations(day.add_days(365)).is_empty(),
+            "expiry day itself keeps the name"
+        );
         let dropped = r.process_expirations(day.add_days(366));
         assert_eq!(dropped, vec![d("expiring.ru")]);
         assert_eq!(r.count(), 1);
@@ -284,7 +305,10 @@ mod tests {
             &d("delegated.ru"),
             Delegation {
                 nameservers: vec![d("ns1.delegated.ru"), d("ns2.hoster.com")],
-                glue: BTreeMap::from([(d("ns1.delegated.ru"), vec!["198.51.100.1".parse().unwrap()])]),
+                glue: BTreeMap::from([(
+                    d("ns1.delegated.ru"),
+                    vec!["198.51.100.1".parse().unwrap()],
+                )]),
             },
         )
         .unwrap();
@@ -302,7 +326,8 @@ mod tests {
     #[test]
     fn zone_serial_monotonic() {
         let mut r = registry();
-        r.register(d("a.ru"), Date::from_ymd(2020, 1, 1), 10).unwrap();
+        r.register(d("a.ru"), Date::from_ymd(2020, 1, 1), 10)
+            .unwrap();
         let s1 = r.zone_snapshot(Date::from_ymd(2022, 1, 1)).soa().serial;
         let s2 = r.zone_snapshot(Date::from_ymd(2022, 1, 2)).soa().serial;
         assert_eq!(s2, s1 + 1);
@@ -312,7 +337,8 @@ mod tests {
     fn idn_tld_registry() {
         let mut r = Registry::new(d("рф"));
         assert_eq!(r.tld().as_str(), "xn--p1ai");
-        r.register(d("пример.рф"), Date::from_ymd(2020, 1, 1), 1).unwrap();
+        r.register(d("пример.рф"), Date::from_ymd(2020, 1, 1), 1)
+            .unwrap();
         assert!(r.is_registered(&d("пример.рф")));
         let zone = r.zone_snapshot(Date::from_ymd(2020, 1, 2));
         assert_eq!(zone.origin().to_string(), "xn--p1ai.");
@@ -321,7 +347,8 @@ mod tests {
     #[test]
     fn delete() {
         let mut r = registry();
-        r.register(d("gone.ru"), Date::from_ymd(2020, 1, 1), 1).unwrap();
+        r.register(d("gone.ru"), Date::from_ymd(2020, 1, 1), 1)
+            .unwrap();
         assert!(r.delete(&d("gone.ru")).is_ok());
         assert!(!r.is_registered(&d("gone.ru")));
         assert_eq!(r.delete(&d("gone.ru")), Err(RegistryError::NotRegistered));

@@ -83,9 +83,7 @@ impl SanctionsList {
 
     /// Iterate `(domain, first listing date, sources)`.
     pub fn iter(&self) -> impl Iterator<Item = (&DomainName, Date, &[SanctionSource])> {
-        self.entries
-            .iter()
-            .map(|(n, (d, s))| (n, *d, s.as_slice()))
+        self.entries.iter().map(|(n, (d, s))| (n, *d, s.as_slice()))
     }
 }
 
@@ -100,7 +98,11 @@ mod tests {
     #[test]
     fn dated_membership() {
         let mut l = SanctionsList::new();
-        l.add(d("bank.ru"), SanctionSource::UsOfacSdn, Date::from_ymd(2022, 2, 26));
+        l.add(
+            d("bank.ru"),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 2, 26),
+        );
         assert!(!l.is_sanctioned(&d("bank.ru"), Date::from_ymd(2022, 2, 25)));
         assert!(l.is_sanctioned(&d("bank.ru"), Date::from_ymd(2022, 2, 26)));
         assert!(l.is_sanctioned(&d("bank.ru"), Date::from_ymd(2022, 5, 25)));
@@ -110,15 +112,27 @@ mod tests {
     #[test]
     fn unique_across_sources() {
         let mut l = SanctionsList::new();
-        l.add(d("dual.ru"), SanctionSource::UsOfacSdn, Date::from_ymd(2022, 3, 1));
-        l.add(d("dual.ru"), SanctionSource::UkSanctions, Date::from_ymd(2022, 2, 26));
+        l.add(
+            d("dual.ru"),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 3, 1),
+        );
+        l.add(
+            d("dual.ru"),
+            SanctionSource::UkSanctions,
+            Date::from_ymd(2022, 2, 26),
+        );
         assert_eq!(l.len(), 1);
         // Earliest date wins.
         assert!(l.is_sanctioned(&d("dual.ru"), Date::from_ymd(2022, 2, 26)));
         let (_, _, sources) = l.iter().next().unwrap();
         assert_eq!(sources.len(), 2);
         // Re-adding the same source does not duplicate.
-        l.add(d("dual.ru"), SanctionSource::UkSanctions, Date::from_ymd(2022, 4, 1));
+        l.add(
+            d("dual.ru"),
+            SanctionSource::UkSanctions,
+            Date::from_ymd(2022, 4, 1),
+        );
         let (_, _, sources) = l.iter().next().unwrap();
         assert_eq!(sources.len(), 2);
     }
@@ -126,8 +140,16 @@ mod tests {
     #[test]
     fn sanctioned_at_grows_over_time() {
         let mut l = SanctionsList::new();
-        l.add(d("a.ru"), SanctionSource::UsOfacSdn, Date::from_ymd(2022, 2, 26));
-        l.add(d("b.ru"), SanctionSource::UkSanctions, Date::from_ymd(2022, 3, 10));
+        l.add(
+            d("a.ru"),
+            SanctionSource::UsOfacSdn,
+            Date::from_ymd(2022, 2, 26),
+        );
+        l.add(
+            d("b.ru"),
+            SanctionSource::UkSanctions,
+            Date::from_ymd(2022, 3, 10),
+        );
         assert_eq!(l.sanctioned_at(Date::from_ymd(2022, 2, 20)).len(), 0);
         assert_eq!(l.sanctioned_at(Date::from_ymd(2022, 3, 1)).len(), 1);
         assert_eq!(l.sanctioned_at(Date::from_ymd(2022, 3, 10)).len(), 2);

@@ -114,7 +114,8 @@ mod tests {
 
     fn registries() -> Vec<Registry> {
         let mut ru = Registry::new(d("ru"));
-        ru.register(d("example.ru"), Date::from_ymd(2019, 5, 1), 10).unwrap();
+        ru.register(d("example.ru"), Date::from_ymd(2019, 5, 1), 10)
+            .unwrap();
         ru.set_delegation(
             &d("example.ru"),
             Delegation {
@@ -123,9 +124,11 @@ mod tests {
             },
         )
         .unwrap();
-        ru.register(d("parked.ru"), Date::from_ymd(2022, 3, 10), 1).unwrap();
+        ru.register(d("parked.ru"), Date::from_ymd(2022, 3, 10), 1)
+            .unwrap();
         let mut rf = Registry::new(d("рф"));
-        rf.register(d("пример.рф"), Date::from_ymd(2020, 2, 2), 5).unwrap();
+        rf.register(d("пример.рф"), Date::from_ymd(2020, 2, 2), 5)
+            .unwrap();
         vec![ru, rf]
     }
 

@@ -124,10 +124,13 @@ impl IpScanner {
         let mut endpoints = Vec::new();
         let mut silent = 0;
         for addr in targets {
-            match world
-                .network_mut()
-                .request(self.src, (addr, TLS_PORT), b"CLIENT-HELLO", 1_500_000, 2)
-            {
+            match world.network_mut().request(
+                self.src,
+                (addr, TLS_PORT),
+                b"CLIENT-HELLO",
+                1_500_000,
+                2,
+            ) {
                 Ok(banner) => match ChainSummary::from_banner(&banner) {
                     Some(chain) => endpoints.push((addr, chain)),
                     None => silent += 1,
@@ -173,7 +176,11 @@ mod tests {
         world.advance_to(Date::from_ymd(2022, 2, 1));
         let logs = world.ct_logs();
         assert_eq!(logs.len(), 2, "CAs submit to two logs");
-        assert_eq!(logs[0].size(), logs[1].size(), "same submissions everywhere");
+        assert_eq!(
+            logs[0].size(),
+            logs[1].size(),
+            "same submissions everywhere"
+        );
         assert_ne!(logs[0].sth().signature, logs[1].sth().signature);
         let from = Date::from_ymd(2022, 1, 1);
         let to = Date::from_ymd(2022, 2, 1);

@@ -17,11 +17,17 @@
 #![warn(missing_docs)]
 
 pub mod censys;
+pub mod nscache;
 pub mod openintel;
+pub mod shard;
 pub mod whois;
 pub mod xfr;
 
 pub use censys::{CertDataset, CertRecord, IpScanSnapshot, IpScanner, MatchRule};
-pub use openintel::{AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner, SweepStats};
+pub use nscache::NsCache;
+pub use openintel::{
+    available_workers, AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner, SweepStats,
+};
+pub use shard::ShardPlan;
 pub use whois::{ArrivalClassification, WhoisClient};
 pub use xfr::{XfrError, ZoneTransferClient};

@@ -7,13 +7,53 @@
 //! > well as the A record resolution for both their name servers and apex
 //! > domain. We geolocate each of the resulting IP addresses, using
 //! > contemporaneous results from the IP2location service." — §2
+//!
+//! # The parallel engine and its determinism contract
+//!
+//! The real OpenINTEL pipeline resolves millions of names per day by
+//! fanning the seed list out over a worker cluster. This engine does the
+//! same in miniature: the zone snapshot's seed list is cut into contiguous
+//! shards ([`crate::shard::ShardPlan`]), one scoped thread per shard, and
+//! shard outputs are concatenated back in shard order — reproducing
+//! zone-snapshot order exactly.
+//!
+//! The hard requirement is that the merged sweep is **byte-identical for
+//! any worker count**, faults included. Three mechanisms deliver it:
+//!
+//! 1. *Per-domain measurement lanes.* Each domain resolves on its own
+//!    [`ruwhere_netsim::Lane`] keyed by `(date, domain)` and starting at
+//!    the sweep base instant, so loss, jitter and fault windows for a
+//!    domain are a pure function of the network snapshot and the key —
+//!    never of which worker ran it or when.
+//! 2. *Warmup-primed resolver forks.* A prototype resolver resolves each
+//!    TLD's NS set once (serially, before workers start); every per-domain
+//!    resolver is a [`fork`](ruwhere_authdns::IterativeResolver::fork) of
+//!    that primed snapshot with zeroed counters. Every domain therefore
+//!    starts from identical caches and server-health state regardless of
+//!    shard assignment.
+//! 3. *Exactly-once shared NS cache.* NS-target A lookups go through the
+//!    shared, sharded, date-scoped [`crate::nscache::NsCache`]; an entry
+//!    is computed once per sweep, on its own lane keyed by `(date,
+//!    ns-name)` from a fresh primed fork, and its query cost is charged
+//!    exactly once. Which worker computes is scheduling-dependent; the
+//!    value and the summed counters are not.
+//!
+//! Counters merge associatively (`virtual_elapsed_us` is the sum of all
+//! lane times — the aggregate latency cost of the measurement), salvage
+//! classification runs post-merge on the merged counters, and the
+//! network's global clock advances to the deterministic maximum lane end.
 
-use ruwhere_authdns::IterativeResolver;
+use crate::nscache::{LookupCost, NsCache};
+use crate::shard::ShardPlan;
+use ruwhere_authdns::{
+    IterativeResolver, NoDependencyCache, NsDependencyCache, Resolution, ResolveError,
+};
 use ruwhere_dns::{Name, RType};
+use ruwhere_netsim::{NetStats, Network, SimTime};
 use ruwhere_types::{Asn, Country, Date, DomainName};
 use ruwhere_world::World;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
 
 /// One resolved address with its measurement-time annotations.
@@ -78,9 +118,10 @@ pub struct SweepStats {
     pub apex_failures: u64,
     /// Total DNS queries emitted.
     pub queries: u64,
-    /// Virtual (simulated) time the sweep took, in microseconds — the
-    /// latency cost of active measurement at this scale (cf. the
-    /// OpenINTEL infrastructure paper's throughput engineering).
+    /// Virtual (simulated) time the sweep took, in microseconds, summed
+    /// over every measurement lane — the latency cost of active
+    /// measurement at this scale (cf. the OpenINTEL infrastructure
+    /// paper's throughput engineering).
     pub virtual_elapsed_us: u64,
     /// Queries that timed out (per-cause failure accounting).
     pub timeouts: u64,
@@ -91,12 +132,17 @@ pub struct SweepStats {
     /// Failed exchanges charged to resolver retry budgets — the wasted
     /// query cost of server misbehaviour during this sweep.
     pub retries_spent: u64,
+    /// NS-target address lookups served from the shared sweep cache.
+    pub ns_cache_hits: u64,
+    /// NS-target address lookups that had to resolve (one per distinct
+    /// name-server host per sweep).
+    pub ns_cache_misses: u64,
     /// Whether the sweep is full or a salvaged partial.
     pub completeness: Completeness,
 }
 
 /// One day's complete measurement output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DailySweep {
     /// Sweep date.
     pub date: Date,
@@ -113,7 +159,245 @@ impl DailySweep {
     }
 }
 
-/// The sweep engine. Owns the resolver; create once, call
+/// Default worker count: the machine's available parallelism.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Raw (pre-annotation) resolution output for one domain.
+struct Raw {
+    domain: DomainName,
+    ns_names: Vec<DomainName>,
+    ns_ips: Vec<Ipv4Addr>,
+    apex_ips: Vec<Ipv4Addr>,
+}
+
+/// Per-worker counter accumulator; merged associatively post-join, so
+/// totals are independent of how domains were sharded.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    ns_failures: u64,
+    apex_failures: u64,
+    queries: u64,
+    virtual_us: u64,
+    timeouts: u64,
+    servfails: u64,
+    lame: u64,
+    retries_spent: u64,
+    ns_cache_hits: u64,
+    ns_cache_misses: u64,
+    net: NetStats,
+    max_lane_end_us: u64,
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.ns_failures += other.ns_failures;
+        self.apex_failures += other.apex_failures;
+        self.queries += other.queries;
+        self.virtual_us += other.virtual_us;
+        self.timeouts += other.timeouts;
+        self.servfails += other.servfails;
+        self.lame += other.lame;
+        self.retries_spent += other.retries_spent;
+        self.ns_cache_hits += other.ns_cache_hits;
+        self.ns_cache_misses += other.ns_cache_misses;
+        self.net.merge(other.net);
+        self.max_lane_end_us = self.max_lane_end_us.max(other.max_lane_end_us);
+    }
+
+    fn charge_cost(&mut self, cost: &LookupCost) {
+        self.queries += cost.queries;
+        self.virtual_us += cost.virtual_us;
+        self.timeouts += cost.timeouts;
+        self.servfails += cost.servfails;
+        self.lame += cost.lame;
+        self.retries_spent += cost.retries_spent;
+        self.net.merge(cost.net);
+        self.max_lane_end_us = self.max_lane_end_us.max(cost.lane_end_us);
+    }
+}
+
+/// The sweep's [`NsDependencyCache`] implementation: routes the
+/// resolver's internal out-of-bailiwick NS-target A lookups through the
+/// shared sweep cache, so each hoster name server resolves exactly once
+/// per sweep instead of once per customer domain. Costs and hit/miss
+/// counts accumulate in a per-domain cell and are folded into the
+/// worker's tally after each domain.
+struct SharedDeps<'a> {
+    net: &'a Network,
+    primed: &'a IterativeResolver,
+    cache: &'a NsCache,
+    date: Date,
+    tally: RefCell<Tally>,
+}
+
+impl NsDependencyCache for SharedDeps<'_> {
+    fn ns_target_a(&self, name: &Name) -> Option<Vec<Ipv4Addr>> {
+        let ns = name.to_domain_name()?;
+        let hit = self.cache.get_or_compute(&ns, || {
+            resolve_ns_target(self.net, self.primed, self.date, &ns)
+        });
+        let mut tally = self.tally.borrow_mut();
+        match hit.computed {
+            Some(cost) => {
+                tally.ns_cache_misses += 1;
+                tally.charge_cost(&cost);
+            }
+            None => tally.ns_cache_hits += 1,
+        }
+        if hit.ips.is_empty() {
+            // The one-shot central resolution failed (its lane drew bad
+            // loss). Don't condemn every domain behind this host to the
+            // same draw — fall back to inline resolution on the calling
+            // domain's own lane, mirroring how a stand-alone resolver
+            // retries transient failures.
+            return None;
+        }
+        Some(hit.ips)
+    }
+}
+
+/// One measurement-level retry on *transient* resolution errors
+/// (timeout / SERVFAIL / budget exhaustion), on the same lane with the
+/// same resolver. The pipeline's retry policy: a failed walk leaves the
+/// resolver's cut cache deepened, so the retry resumes at the failed
+/// stage and re-rolls only that exchange — cheap, and deterministic
+/// because the lane's loss stream is a pure function of its key and
+/// consumed sequence. Persistent failures (NXDOMAIN, lame delegations,
+/// dead server sets) are negative-cached by the resolver, so retrying
+/// them is a free no-op and we don't special-case them here.
+fn resolve_with_retry<T: ruwhere_netsim::Transport>(
+    resolver: &mut IterativeResolver,
+    lane: &mut T,
+    qname: &Name,
+    rtype: RType,
+    deps: &dyn NsDependencyCache,
+) -> Result<Resolution, ResolveError> {
+    match resolver.resolve_with_cache(lane, qname, rtype, deps) {
+        Err(ResolveError::Timeout | ResolveError::ServFail | ResolveError::BudgetExhausted) => {
+            resolver.resolve_with_cache(lane, qname, rtype, deps)
+        }
+        r => r,
+    }
+}
+
+/// Resolve one NS-target host to addresses on its own `(date, name)` lane
+/// with a fresh primed fork — a pure function of the sweep-start snapshot,
+/// so the cached value is identical no matter which worker computes it.
+fn resolve_ns_target(
+    net: &Network,
+    primed: &IterativeResolver,
+    date: Date,
+    ns: &DomainName,
+) -> (Vec<Ipv4Addr>, LookupCost) {
+    let mut lane = net.lane(&format!("ns:{date}/{ns}"));
+    let mut resolver = primed.fork();
+    let ips = match resolve_with_retry(
+        &mut resolver,
+        &mut lane,
+        &Name::from(ns),
+        RType::A,
+        &NoDependencyCache,
+    ) {
+        Ok(res) => res.addresses(),
+        Err(_) => Vec::new(),
+    };
+    let causes = resolver.stats();
+    let cost = LookupCost {
+        queries: resolver.queries_sent(),
+        virtual_us: lane.elapsed_us(),
+        timeouts: causes.timeouts,
+        servfails: causes.servfails,
+        lame: causes.lame,
+        retries_spent: causes.retries_spent,
+        net: lane.stats(),
+        lane_end_us: lane.now().as_micros(),
+    };
+    (ips, cost)
+}
+
+/// Measure one domain: NS set, NS-target addresses (through the shared
+/// cache), apex A — all on the domain's own `(date, domain)` lane with a
+/// fresh primed fork.
+fn measure_domain(
+    domain: &DomainName,
+    date: Date,
+    net: &Network,
+    primed: &IterativeResolver,
+    ns_cache: &NsCache,
+    tally: &mut Tally,
+) -> Raw {
+    let mut lane = net.lane(&format!("{date}/{domain}"));
+    let mut resolver = primed.fork();
+    let qname = Name::from(domain);
+    let deps = SharedDeps {
+        net,
+        primed,
+        cache: ns_cache,
+        date,
+        tally: RefCell::new(Tally::default()),
+    };
+
+    let ns_names: Vec<DomainName> =
+        match resolve_with_retry(&mut resolver, &mut lane, &qname, RType::Ns, &deps) {
+            Ok(res) => res
+                .ns_targets()
+                .iter()
+                .filter_map(|n| n.to_domain_name())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+    if ns_names.is_empty() {
+        tally.ns_failures += 1;
+    }
+
+    let mut ns_ips: Vec<Ipv4Addr> = Vec::new();
+    for ns in &ns_names {
+        let hit = ns_cache.get_or_compute(ns, || resolve_ns_target(net, primed, date, ns));
+        match hit.computed {
+            Some(cost) => {
+                tally.ns_cache_misses += 1;
+                tally.charge_cost(&cost);
+            }
+            None => tally.ns_cache_hits += 1,
+        }
+        ns_ips.extend(hit.ips);
+    }
+    ns_ips.sort_unstable();
+    ns_ips.dedup();
+
+    let apex_ips = match resolve_with_retry(&mut resolver, &mut lane, &qname, RType::A, &deps) {
+        Ok(res) => res.addresses(),
+        Err(_) => Vec::new(),
+    };
+    if apex_ips.is_empty() {
+        tally.apex_failures += 1;
+    }
+
+    tally.merge(&deps.tally.into_inner());
+    tally.queries += resolver.queries_sent();
+    let causes = resolver.stats();
+    tally.timeouts += causes.timeouts;
+    tally.servfails += causes.servfails;
+    tally.lame += causes.lame;
+    tally.retries_spent += causes.retries_spent;
+    tally.virtual_us += lane.elapsed_us();
+    tally.max_lane_end_us = tally.max_lane_end_us.max(lane.now().as_micros());
+    tally.net.merge(lane.stats());
+
+    Raw {
+        domain: domain.clone(),
+        ns_names,
+        ns_ips,
+        apex_ips,
+    }
+}
+
+/// The sweep engine. Owns the prototype resolver, the worker-count knob
+/// and the shared NS-target cache; create once, call
 /// [`OpenIntelScanner::sweep`] per measurement day.
 pub struct OpenIntelScanner {
     resolver: IterativeResolver,
@@ -122,14 +406,21 @@ pub struct OpenIntelScanner {
     /// above ordinary packet-loss attrition so only genuine infrastructure
     /// faults trip it.
     partial_threshold: f64,
+    workers: usize,
+    ns_cache: NsCache,
+    total_queries: u64,
 }
 
 impl OpenIntelScanner {
-    /// Build a scanner homed at the world's measurement vantage.
+    /// Build a scanner homed at the world's measurement vantage, with one
+    /// worker per available core.
     pub fn new(world: &World) -> Self {
         OpenIntelScanner {
             resolver: IterativeResolver::new(world.scanner_ip(), world.root_hints()),
             partial_threshold: 0.5,
+            workers: available_workers(),
+            ns_cache: NsCache::new(),
+            total_queries: 0,
         }
     }
 
@@ -140,101 +431,159 @@ impl OpenIntelScanner {
         self.partial_threshold = threshold.clamp(0.0, 1.0);
     }
 
+    /// Set the sweep worker count (clamped to at least one). Output is
+    /// byte-identical for every value; this knob trades wall-clock time
+    /// only.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared NS-target cache (diagnostics/tests).
+    pub fn ns_cache(&self) -> &NsCache {
+        &self.ns_cache
+    }
+
     /// Run one full sweep at the world's current date.
     ///
     /// Publishes fresh TLD zone snapshots (the daily zone transfer), clears
-    /// resolver caches (a new measurement day re-observes everything), then
-    /// resolves NS / apex A / NS-host A for every seeded name and annotates
-    /// the addresses.
+    /// resolver caches and rebinds the NS cache to the day (a new
+    /// measurement day re-observes everything), warms a prototype resolver
+    /// on the TLD cuts, then fans the seed list out over the worker pool
+    /// and merges shard outputs deterministically.
     pub fn sweep(&mut self, world: &mut World) -> DailySweep {
         let date = world.today();
         world.publish_tld_zones();
         self.resolver.clear_cache();
+        self.ns_cache.begin_sweep(date);
         let seeds = world.seed_names();
-        let queries_before = self.resolver.queries_sent();
-        let causes_before = self.resolver.stats();
-        let t_start = world.network().now();
 
         let mut stats = SweepStats {
             seeded: seeds.len() as u64,
             ..SweepStats::default()
         };
-        // Raw resolution pass (needs &mut network).
-        struct Raw {
-            domain: DomainName,
-            ns_names: Vec<DomainName>,
-            ns_ips: Vec<Ipv4Addr>,
-            apex_ips: Vec<Ipv4Addr>,
-        }
-        let mut raw: Vec<Raw> = Vec::with_capacity(seeds.len());
-        // Per-sweep cache of NS-host address resolutions.
-        let mut ns_ip_cache: HashMap<DomainName, Vec<Ipv4Addr>> = HashMap::new();
 
-        for domain in seeds {
-            let qname = Name::from(&domain);
-            let ns_names: Vec<DomainName> = match self
-                .resolver
-                .resolve(world.network_mut(), &qname, RType::Ns)
-            {
-                Ok(res) => res
-                    .ns_targets()
-                    .iter()
-                    .filter_map(|n| n.to_domain_name())
-                    .collect(),
-                Err(_) => Vec::new(),
-            };
-            if ns_names.is_empty() {
-                stats.ns_failures += 1;
-            }
-
-            let mut ns_ips: Vec<Ipv4Addr> = Vec::new();
-            for ns in &ns_names {
-                let ips = ns_ip_cache.entry(ns.clone()).or_insert_with(|| {
-                    match self
-                        .resolver
-                        .resolve(world.network_mut(), &Name::from(ns), RType::A)
-                    {
-                        Ok(res) => res.addresses(),
-                        Err(_) => Vec::new(),
+        // Warmup: prime one resolver on the TLD cuts, serially, before any
+        // worker exists. Every per-domain resolver forks from this primed
+        // snapshot, so per-domain state is identical for any sharding.
+        //
+        // Walking each TLD's NS query plants the TLD cut (from the root's
+        // referral) in the prototype's cut cache, so per-domain forks
+        // start one referral deep instead of at the root. Where a TLD
+        // zone publishes an apex NS RRset we additionally resolve the
+        // server addresses and seed the cut with the complete rotation;
+        // zones that answer NoData at the apex keep the referral glue.
+        let mut primed = self.resolver.fork();
+        let mut total = Tally::default();
+        {
+            let net = world.network();
+            let mut lane = net.lane(&format!("{date}/warmup"));
+            let mut tlds: Vec<&str> = seeds.iter().map(|d| d.tld()).collect();
+            tlds.sort_unstable();
+            tlds.dedup();
+            for tld in tlds {
+                let Ok(tld_name) = Name::from_labels([tld]) else {
+                    continue;
+                };
+                let targets = match primed.resolve(&mut lane, &tld_name, RType::Ns) {
+                    Ok(res) => res.ns_targets(),
+                    Err(_) => Vec::new(),
+                };
+                let mut addrs: Vec<Ipv4Addr> = Vec::new();
+                for t in &targets {
+                    if let Ok(res) = primed.resolve(&mut lane, t, RType::A) {
+                        addrs.extend(res.addresses());
                     }
-                });
-                ns_ips.extend(ips.iter().copied());
+                }
+                addrs.sort_unstable();
+                addrs.dedup();
+                primed.seed_cut(tld_name, addrs);
             }
-            ns_ips.sort_unstable();
-            ns_ips.dedup();
-
-            let apex_ips = match self
-                .resolver
-                .resolve(world.network_mut(), &qname, RType::A)
-            {
-                Ok(res) => res.addresses(),
-                Err(_) => Vec::new(),
-            };
-            if apex_ips.is_empty() {
-                stats.apex_failures += 1;
-            }
-
-            raw.push(Raw {
-                domain,
-                ns_names,
-                ns_ips,
-                apex_ips,
-            });
+            let causes = primed.stats();
+            total.queries = primed.queries_sent();
+            total.timeouts = causes.timeouts;
+            total.servfails = causes.servfails;
+            total.lame = causes.lame;
+            total.retries_spent = causes.retries_spent;
+            total.virtual_us = lane.elapsed_us();
+            total.max_lane_end_us = lane.now().as_micros();
+            total.net = lane.stats();
         }
-        stats.queries = self.resolver.queries_sent() - queries_before;
-        stats.virtual_elapsed_us = world.network().now().as_micros() - t_start.as_micros();
-        let causes = self.resolver.stats();
-        stats.timeouts = causes.timeouts - causes_before.timeouts;
-        stats.servfails = causes.servfails - causes_before.servfails;
-        stats.lame = causes.lame - causes_before.lame;
-        stats.retries_spent = causes.retries_spent - causes_before.retries_spent;
+
+        // Fan out: contiguous shards, one scoped worker each, merged back
+        // in shard order (= zone-snapshot order).
+        let plan = ShardPlan::new(seeds.len(), self.workers);
+        let net: &Network = world.network();
+        let primed_ref = &primed;
+        let ns_cache = &self.ns_cache;
+        let seeds_ref = &seeds;
+        let shard_outputs: Vec<(Vec<Raw>, Tally)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = plan
+                .ranges()
+                .iter()
+                .cloned()
+                .map(|range| {
+                    s.spawn(move |_| {
+                        let mut tally = Tally::default();
+                        let mut raws = Vec::with_capacity(range.len());
+                        for idx in range {
+                            raws.push(measure_domain(
+                                &seeds_ref[idx],
+                                date,
+                                net,
+                                primed_ref,
+                                ns_cache,
+                                &mut tally,
+                            ));
+                        }
+                        (raws, tally)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("sweep worker pool");
+
+        let mut raw: Vec<Raw> = Vec::with_capacity(seeds.len());
+        for (raws, tally) in shard_outputs {
+            total.merge(&tally);
+            raw.extend(raws);
+        }
+
+        stats.ns_failures = total.ns_failures;
+        stats.apex_failures = total.apex_failures;
+        stats.queries = total.queries;
+        stats.virtual_elapsed_us = total.virtual_us;
+        stats.timeouts = total.timeouts;
+        stats.servfails = total.servfails;
+        stats.lame = total.lame;
+        stats.retries_spent = total.retries_spent;
+        stats.ns_cache_hits = total.ns_cache_hits;
+        stats.ns_cache_misses = total.ns_cache_misses;
+        self.total_queries += total.queries;
+
+        // The world's clock advances to the deterministic end of the
+        // slowest lane, and the lanes' transport counters fold into the
+        // network's globals.
+        world
+            .network_mut()
+            .advance_to_time(SimTime::ZERO.plus_us(total.max_lane_end_us));
+        world.network_mut().absorb_lane_stats(total.net);
 
         // Gap salvage: a day where most NS resolutions failed is not a
         // usable full snapshot (the real pipeline records such days as
         // gaps, cf. the 2021-03-22 .ru outage in Figure 1). Keep whatever
         // actually measured, drop the rest, and flag the sweep partial so
         // downstream analyses can impute rather than misread the dip as
-        // mass domain deletion.
+        // mass domain deletion. Runs post-merge on merged counters, so the
+        // classification is worker-count-independent too.
         if stats.seeded > 0
             && stats.ns_failures as f64 / stats.seeded as f64 > self.partial_threshold
         {
@@ -271,9 +620,10 @@ impl OpenIntelScanner {
         }
     }
 
-    /// Total queries the scanner has sent since construction.
+    /// Total queries the scanner has sent since construction (summed over
+    /// all sweeps, warmup and cache fills included).
     pub fn queries_sent(&self) -> u64 {
-        self.resolver.queries_sent()
+        self.total_queries + self.resolver.queries_sent()
     }
 }
 
@@ -309,6 +659,10 @@ mod tests {
         assert!(sweep.stats.queries > 0);
         // The sweep consumed virtual time (network latency is being paid).
         assert!(sweep.stats.virtual_elapsed_us > 0);
+        // The shared NS cache deduplicated hoster name servers.
+        assert!(sweep.stats.ns_cache_hits > 0);
+        assert!(sweep.stats.ns_cache_misses > 0);
+        assert!(sweep.stats.ns_cache_hits + sweep.stats.ns_cache_misses >= sweep.stats.seeded);
     }
 
     #[test]
@@ -322,7 +676,9 @@ mod tests {
             if let Some(truth) = world.domain_state(&rec.domain) {
                 if rec.has_apex_data() {
                     assert!(
-                        rec.apex_addrs.iter().any(|a| a.ip == truth.hosting.primary_ip),
+                        rec.apex_addrs
+                            .iter()
+                            .any(|a| a.ip == truth.hosting.primary_ip),
                         "{}: measured {:?}, truth {}",
                         rec.domain,
                         rec.apex_addrs,
@@ -349,5 +705,33 @@ mod tests {
         let set2: std::collections::HashSet<_> =
             s2.domains.iter().map(|d| d.domain.clone()).collect();
         assert!(set1 != set2, "thirty days without any churn is implausible");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let sweep_with = |workers: usize| {
+            let mut world = World::new(WorldConfig::tiny());
+            let mut scanner = OpenIntelScanner::new(&world);
+            scanner.set_workers(workers);
+            scanner.sweep(&mut world)
+        };
+        let serial = sweep_with(1);
+        let parallel = sweep_with(4);
+        assert_eq!(serial, parallel, "4-worker sweep diverged from 1-worker");
+    }
+
+    #[test]
+    fn ns_cache_is_rebound_per_sweep_date() {
+        let mut world = World::new(WorldConfig::tiny());
+        let mut scanner = OpenIntelScanner::new(&world);
+        scanner.sweep(&mut world);
+        let d1 = scanner.ns_cache().date();
+        assert_eq!(d1, Some(world.today()));
+        let filled = scanner.ns_cache().len();
+        assert!(filled > 0, "sweep must populate the NS cache");
+        world.advance_to(world.today().add_days(1));
+        scanner.sweep(&mut world);
+        assert_eq!(scanner.ns_cache().date(), Some(world.today()));
+        assert_ne!(d1, scanner.ns_cache().date());
     }
 }

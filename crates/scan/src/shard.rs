@@ -1,0 +1,90 @@
+//! Shard planning for the parallel sweep engine.
+//!
+//! A sweep's seed list is split into contiguous shards, one per worker.
+//! Contiguity keeps the merge trivial — concatenating shard outputs in
+//! shard order reproduces zone-snapshot order exactly — and the near-equal
+//! sizes keep workers balanced (per-domain cost is dominated by the same
+//! 2–3 queries everywhere, so size balance is load balance).
+
+use std::ops::Range;
+
+/// A shard plan: contiguous, non-overlapping index ranges covering
+/// `0..len`, at most `workers` of them, sizes differing by at most one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<Range<usize>>,
+}
+
+impl ShardPlan {
+    /// Plan `len` items across up to `workers` shards (empty shards are
+    /// omitted, so fewer items than workers yields fewer shards).
+    pub fn new(len: usize, workers: usize) -> ShardPlan {
+        let workers = workers.max(1).min(len.max(1));
+        let base = len / workers;
+        let extra = len % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let size = base + usize::from(w < extra);
+            if size == 0 {
+                break;
+            }
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ShardPlan { ranges }
+    }
+
+    /// The planned ranges, in index order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of non-empty shards.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the plan has no shards (zero items).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_in_order() {
+        for len in [0usize, 1, 2, 7, 100, 101, 4096] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let plan = ShardPlan::new(len, workers);
+                let mut next = 0;
+                for r in plan.ranges() {
+                    assert_eq!(r.start, next, "gap at {len}x{workers}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len, "coverage at {len}x{workers}");
+                assert!(plan.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let plan = ShardPlan::new(103, 8);
+        let sizes: Vec<usize> = plan.ranges().iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let plan = ShardPlan::new(5, 0);
+        assert_eq!(plan.ranges(), std::slice::from_ref(&(0..5)));
+    }
+}

@@ -111,7 +111,9 @@ mod tests {
         let mut world = World::new(WorldConfig::tiny());
         world.publish_tld_zones();
         let client = ZoneTransferClient::new(&world);
-        let zone = client.transfer(&mut world, "ru").expect("transfer succeeds");
+        let zone = client
+            .transfer(&mut world, "ru")
+            .expect("transfer succeeds");
         assert_eq!(zone.origin().to_string(), "ru.");
         assert!(zone.record_count() > 300, "zone should carry delegations");
         // The .рф zone transfers too.

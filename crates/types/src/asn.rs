@@ -71,7 +71,11 @@ pub struct AsnParseError(pub String);
 
 impl fmt::Display for AsnParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid ASN {:?}, expected e.g. \"AS16509\" or \"16509\"", self.0)
+        write!(
+            f,
+            "invalid ASN {:?}, expected e.g. \"AS16509\" or \"16509\"",
+            self.0
+        )
     }
 }
 
@@ -81,7 +85,10 @@ impl FromStr for Asn {
     type Err = AsnParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
         digits
             .parse::<u32>()
             .map(Asn)

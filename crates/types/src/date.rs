@@ -277,13 +277,20 @@ mod tests {
 
     #[test]
     fn range_iteration() {
-        let days: Vec<Date> = Date::from_ymd(2022, 2, 26).to(Date::from_ymd(2022, 3, 2)).collect();
+        let days: Vec<Date> = Date::from_ymd(2022, 2, 26)
+            .to(Date::from_ymd(2022, 3, 2))
+            .collect();
         assert_eq!(days.len(), 5);
         assert_eq!(days[0].to_string(), "2022-02-26");
         assert_eq!(days[3].to_string(), "2022-03-01");
         assert_eq!(days[4].to_string(), "2022-03-02");
         // Empty range.
-        assert_eq!(Date::from_ymd(2022, 1, 2).to(Date::from_ymd(2022, 1, 1)).count(), 0);
+        assert_eq!(
+            Date::from_ymd(2022, 1, 2)
+                .to(Date::from_ymd(2022, 1, 1))
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -286,9 +286,15 @@ mod tests {
 
     #[test]
     fn registrable_of_short_names() {
-        assert_eq!(DomainName::parse("ru").unwrap().registrable().as_str(), "ru");
         assert_eq!(
-            DomainName::parse("example.ru").unwrap().registrable().as_str(),
+            DomainName::parse("ru").unwrap().registrable().as_str(),
+            "ru"
+        );
+        assert_eq!(
+            DomainName::parse("example.ru")
+                .unwrap()
+                .registrable()
+                .as_str(),
             "example.ru"
         );
     }

@@ -49,7 +49,11 @@ impl Period {
     }
 
     /// All three periods in chronological order.
-    pub const ALL: [Period; 3] = [Period::PreConflict, Period::PreSanctions, Period::PostSanctions];
+    pub const ALL: [Period; 3] = [
+        Period::PreConflict,
+        Period::PreSanctions,
+        Period::PostSanctions,
+    ];
 
     /// The period's bounds clipped to a window `[start, end]`, or `None` if
     /// the period does not intersect it.

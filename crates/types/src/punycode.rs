@@ -186,16 +186,12 @@ pub fn decode(input: &str) -> Result<String, PunycodeError> {
             if digit < t {
                 break;
             }
-            w = w
-                .checked_mul(BASE - t)
-                .ok_or(PunycodeError::Overflow)?;
+            w = w.checked_mul(BASE - t).ok_or(PunycodeError::Overflow)?;
             k += BASE;
         }
         let len = output.len() as u32 + 1;
         bias = adapt(i - old_i, len, old_i == 0);
-        n = n
-            .checked_add(i / len)
-            .ok_or(PunycodeError::Overflow)?;
+        n = n.checked_add(i / len).ok_or(PunycodeError::Overflow)?;
         i %= len;
         let ch = char::from_u32(n).ok_or(PunycodeError::InvalidInput)?;
         if ch.is_ascii() {
@@ -245,10 +241,7 @@ mod tests {
     fn rfc3492_samples() {
         // Selected official RFC 3492 section 7.1 sample strings.
         // (L) Why can't they just speak in Japanese?
-        assert_eq!(
-            encode("президент").unwrap(),
-            "d1abbgf6aiiy"
-        );
+        assert_eq!(encode("президент").unwrap(), "d1abbgf6aiiy");
         assert_eq!(decode("d1abbgf6aiiy").unwrap(), "президент");
         // Mixed ASCII + non-ASCII.
         assert_eq!(encode("bücher").unwrap(), "bcher-kva");
@@ -280,10 +273,7 @@ mod tests {
 
     #[test]
     fn realistic_russian_slds() {
-        for (uni, puny) in [
-            ("пример", "xn--e1afmkfd"),
-            ("россия", "xn--h1alffa9f"),
-        ] {
+        for (uni, puny) in [("пример", "xn--e1afmkfd"), ("россия", "xn--h1alffa9f")] {
             assert_eq!(label_to_ascii(uni).unwrap(), puny);
             assert_eq!(label_to_unicode(puny).unwrap(), uni);
         }

@@ -184,11 +184,7 @@ pub fn exotic_tld(i: usize) -> String {
     } else {
         // Three-letter gTLD-ish strings.
         let j = i - 130;
-        format!(
-            "{}{}x",
-            ALPHA[j % 26] as char,
-            ALPHA[(j / 26) % 26] as char
-        )
+        format!("{}{}x", ALPHA[j % 26] as char, ALPHA[(j / 26) % 26] as char)
     }
 }
 
@@ -197,31 +193,119 @@ pub fn exotic_tld(i: usize) -> String {
 pub fn providers() -> Vec<ProviderSpec> {
     let mut v = vec![
         // --- infrastructure (roots, TLD, scanner) ---
-        ProviderSpec { name: "Root-Servers", asn: Asn(397196), country: Country::US },
-        ProviderSpec { name: "RIPN-TLD", asn: Asn(3267), country: Country::RU },
-        ProviderSpec { name: "OpenINTEL-Scanner", asn: Asn(1133), country: Country::NL },
+        ProviderSpec {
+            name: "Root-Servers",
+            asn: Asn(397196),
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "RIPN-TLD",
+            asn: Asn(3267),
+            country: Country::RU,
+        },
+        ProviderSpec {
+            name: "OpenINTEL-Scanner",
+            asn: Asn(1133),
+            country: Country::NL,
+        },
         // --- named Russian hosters (Figure 4's stable curves) ---
-        ProviderSpec { name: "REG.RU", asn: Asn::REG_RU, country: Country::RU },
-        ProviderSpec { name: "RU-CENTER", asn: Asn::RU_CENTER, country: Country::RU },
-        ProviderSpec { name: "Timeweb", asn: Asn::TIMEWEB, country: Country::RU },
-        ProviderSpec { name: "Beget", asn: Asn::BEGET, country: Country::RU },
+        ProviderSpec {
+            name: "REG.RU",
+            asn: Asn::REG_RU,
+            country: Country::RU,
+        },
+        ProviderSpec {
+            name: "RU-CENTER",
+            asn: Asn::RU_CENTER,
+            country: Country::RU,
+        },
+        ProviderSpec {
+            name: "Timeweb",
+            asn: Asn::TIMEWEB,
+            country: Country::RU,
+        },
+        ProviderSpec {
+            name: "Beget",
+            asn: Asn::BEGET,
+            country: Country::RU,
+        },
         // --- named Western actors ---
-        ProviderSpec { name: "Amazon", asn: Asn::AMAZON, country: Country::US },
-        ProviderSpec { name: "Sedo", asn: Asn::SEDO, country: Country::DE },
-        ProviderSpec { name: "Cloudflare", asn: Asn::CLOUDFLARE, country: Country::US },
-        ProviderSpec { name: "Google", asn: Asn::GOOGLE, country: Country::US },
-        ProviderSpec { name: "Google-Cloud", asn: Asn::GOOGLE_CLOUD, country: Country::US },
-        ProviderSpec { name: "Serverel", asn: Asn::SERVEREL, country: Country::NL },
-        ProviderSpec { name: "Hetzner", asn: Asn::HETZNER, country: Country::DE },
-        ProviderSpec { name: "Linode", asn: Asn::LINODE, country: Country::US },
-        ProviderSpec { name: "Netnod", asn: Asn::NETNOD, country: Country::SE },
-        ProviderSpec { name: "Yandex", asn: Asn(13238), country: Country::RU },
-        ProviderSpec { name: "GoDaddy", asn: Asn(26496), country: Country::US },
+        ProviderSpec {
+            name: "Amazon",
+            asn: Asn::AMAZON,
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "Sedo",
+            asn: Asn::SEDO,
+            country: Country::DE,
+        },
+        ProviderSpec {
+            name: "Cloudflare",
+            asn: Asn::CLOUDFLARE,
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "Google",
+            asn: Asn::GOOGLE,
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "Google-Cloud",
+            asn: Asn::GOOGLE_CLOUD,
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "Serverel",
+            asn: Asn::SERVEREL,
+            country: Country::NL,
+        },
+        ProviderSpec {
+            name: "Hetzner",
+            asn: Asn::HETZNER,
+            country: Country::DE,
+        },
+        ProviderSpec {
+            name: "Linode",
+            asn: Asn::LINODE,
+            country: Country::US,
+        },
+        ProviderSpec {
+            name: "Netnod",
+            asn: Asn::NETNOD,
+            country: Country::SE,
+        },
+        ProviderSpec {
+            name: "Yandex",
+            asn: Asn(13238),
+            country: Country::RU,
+        },
+        ProviderSpec {
+            name: "GoDaddy",
+            asn: Asn(26496),
+            country: Country::US,
+        },
         // Hosts of the three never-relocating sanctioned domains.
-        ProviderSpec { name: "DE-Haven", asn: Asn(64610), country: Country::DE },
-        ProviderSpec { name: "CZ-Haven", asn: Asn(64611), country: Country::CZ },
-        ProviderSpec { name: "EE-Haven", asn: Asn(64612), country: Country::EE },
-        ProviderSpec { name: "PL-Host", asn: Asn(64613), country: Country::PL },
+        ProviderSpec {
+            name: "DE-Haven",
+            asn: Asn(64610),
+            country: Country::DE,
+        },
+        ProviderSpec {
+            name: "CZ-Haven",
+            asn: Asn(64611),
+            country: Country::CZ,
+        },
+        ProviderSpec {
+            name: "EE-Haven",
+            asn: Asn(64612),
+            country: Country::EE,
+        },
+        ProviderSpec {
+            name: "PL-Host",
+            asn: Asn(64613),
+            country: Country::PL,
+        },
     ];
     // Generic Russian hosting tail.
     for i in 0..12u16 {
@@ -334,7 +418,10 @@ pub fn dns_plans() -> Vec<DnsPlanSpec> {
         },
         DnsPlanSpec {
             name: "Timeweb DNS",
-            ns: vec![ns("ns1.timeweb.ru", "Timeweb"), ns("ns2.timeweb.ru", "Timeweb")],
+            ns: vec![
+                ns("ns1.timeweb.ru", "Timeweb"),
+                ns("ns2.timeweb.ru", "Timeweb"),
+            ],
             share: ShareSchedule::new(0.075, 0.078, 0.080),
         },
         DnsPlanSpec {
@@ -348,12 +435,18 @@ pub fn dns_plans() -> Vec<DnsPlanSpec> {
         DnsPlanSpec {
             // Yandex: Russian IPs, .net names. Decline drives .net 9.1→7.3 %.
             name: "Yandex DNS",
-            ns: vec![ns("dns1.yandex.net", "Yandex"), ns("dns2.yandex.net", "Yandex")],
+            ns: vec![
+                ns("dns1.yandex.net", "Yandex"),
+                ns("dns2.yandex.net", "Yandex"),
+            ],
             share: ShareSchedule::new(0.055, 0.046, 0.042),
         },
         DnsPlanSpec {
             name: "RU tail DNS (.ru)",
-            ns: vec![ns("ns1.ruhost.ru", "RU hosting #1"), ns("ns2.ruhost.ru", "RU hosting #2")],
+            ns: vec![
+                ns("ns1.ruhost.ru", "RU hosting #1"),
+                ns("ns2.ruhost.ru", "RU hosting #2"),
+            ],
             share: ShareSchedule::new(0.145, 0.085, 0.040),
         },
         DnsPlanSpec {
@@ -397,8 +490,7 @@ pub fn dns_plans() -> Vec<DnsPlanSpec> {
                 ns("ns1.mixdns.ru", "RU hosting #7"),
                 ns("helium.ns.hetzner.de", "Hetzner"),
             ],
-            share: ShareSchedule::new(0.055, 0.050, 0.048)
-                .hold_until(Date::from_ymd(2022, 3, 25)),
+            share: ShareSchedule::new(0.055, 0.050, 0.048).hold_until(Date::from_ymd(2022, 3, 25)),
         },
         DnsPlanSpec {
             name: "RU primary + Linode secondary",
@@ -406,8 +498,7 @@ pub fn dns_plans() -> Vec<DnsPlanSpec> {
                 ns("ns2.mixdns.ru", "RU hosting #8"),
                 ns("ns1.linode.com", "Linode"),
             ],
-            share: ShareSchedule::new(0.030, 0.030, 0.027)
-                .hold_until(Date::from_ymd(2022, 3, 25)),
+            share: ShareSchedule::new(0.030, 0.030, 0.027).hold_until(Date::from_ymd(2022, 3, 25)),
         },
         DnsPlanSpec {
             name: "RU primary + Western .net secondary",
@@ -460,8 +551,7 @@ pub fn dns_plans() -> Vec<DnsPlanSpec> {
                 ns("ns1.sedoparking.com", "Sedo"),
                 ns("ns2.sedoparking.com", "Sedo"),
             ],
-            share: ShareSchedule::new(0.033, 0.033, 0.002)
-                .hold_until(Date::from_ymd(2022, 3, 9)),
+            share: ShareSchedule::new(0.033, 0.033, 0.002).hold_until(Date::from_ymd(2022, 3, 9)),
         },
         DnsPlanSpec {
             name: "Google Cloud DNS",
@@ -549,15 +639,32 @@ pub fn hosting_shares() -> Vec<(ProviderId, ShareSchedule)> {
         (pid::YANDEX, ShareSchedule::flat(0.020)),
         (pid::CLOUDFLARE, ShareSchedule::new(0.063, 0.063, 0.066)),
         // Amazon: 57 % of its 2022-03-08 set relocates by 2022-05-25.
-        (pid::AMAZON, ShareSchedule::new(0.040, 0.040, 0.0175).hold_until(mar8)),
+        (
+            pid::AMAZON,
+            ShareSchedule::new(0.040, 0.040, 0.0175).hold_until(mar8),
+        ),
         // Sedo: 98 % relocates after the 2022-03-09 plug pull.
-        (pid::SEDO, ShareSchedule::new(0.033, 0.033, 0.0008).hold_until(mar9)),
-        (pid::GOOGLE, ShareSchedule::new(0.0035, 0.0035, 0.0014).hold_until(mar10)),
+        (
+            pid::SEDO,
+            ShareSchedule::new(0.033, 0.033, 0.0008).hold_until(mar9),
+        ),
+        (
+            pid::GOOGLE,
+            ShareSchedule::new(0.0035, 0.0035, 0.0014).hold_until(mar10),
+        ),
         // Google-Cloud absorbs the intra-Google relocation of 2022-03-16
         // in a single step (footnote 11's "around March 16").
-        (pid::GOOGLE_CLOUD, ShareSchedule::new(0.0, 0.0, 0.0016).hold_until(mar16).as_step()),
+        (
+            pid::GOOGLE_CLOUD,
+            ShareSchedule::new(0.0, 0.0, 0.0016)
+                .hold_until(mar16)
+                .as_step(),
+        ),
         // Serverel absorbs the bulk of the Sedo exodus.
-        (pid::SERVEREL, ShareSchedule::new(0.0005, 0.0005, 0.0450).hold_until(mar9)),
+        (
+            pid::SERVEREL,
+            ShareSchedule::new(0.0005, 0.0005, 0.0450).hold_until(mar9),
+        ),
         (pid::HETZNER, ShareSchedule::new(0.020, 0.020, 0.018)),
         (pid::LINODE, ShareSchedule::new(0.010, 0.010, 0.009)),
         (pid::GODADDY, ShareSchedule::flat(0.010)),
@@ -573,8 +680,7 @@ pub fn hosting_shares() -> Vec<(ProviderId, ShareSchedule)> {
         ));
     }
     // Generic Western tail: the remaining non-Russian share.
-    let west_named: f64 =
-        0.063 + 0.040 + 0.033 + 0.0035 + 0.0 + 0.0005 + 0.020 + 0.010 + 0.010;
+    let west_named: f64 = 0.063 + 0.040 + 0.033 + 0.0035 + 0.0 + 0.0005 + 0.020 + 0.010 + 0.010;
     let west_tail_each = (0.290 - west_named) / f64::from(pid::WESTERN_GENERIC_COUNT);
     for i in 0..pid::WESTERN_GENERIC_COUNT {
         v.push((
@@ -817,9 +923,15 @@ mod tests {
         assert!(sum(plan::NON_RU_RANGE, |s| s.at_end) < 0.12);
         // Totals stay near 0.93 at each anchor (the remainder is vanity NS).
         let total_start: f64 = plans.iter().map(|p| p.share.at_start).sum();
-        assert!((total_start - 0.93).abs() < 0.001, "start total {total_start}");
+        assert!(
+            (total_start - 0.93).abs() < 0.001,
+            "start total {total_start}"
+        );
         let total_conflict: f64 = plans.iter().map(|p| p.share.at_conflict).sum();
-        assert!((total_conflict - 0.93).abs() < 0.001, "conflict total {total_conflict}");
+        assert!(
+            (total_conflict - 0.93).abs() < 0.001,
+            "conflict total {total_conflict}"
+        );
     }
 
     #[test]
@@ -835,7 +947,11 @@ mod tests {
                     let ru = p.ns.iter().filter(|h| is_ru_tld(h.host)).count();
                     let full_tld = ru == p.ns.len();
                     let partial_tld = ru > 0 && !full_tld;
-                    if want_full { full_tld } else { partial_tld }
+                    if want_full {
+                        full_tld
+                    } else {
+                        partial_tld
+                    }
                 })
                 .map(|p| f(&p.share))
                 .sum()
@@ -867,10 +983,22 @@ mod tests {
                 .map(|p| f(&p.share))
                 .sum()
         };
-        assert!(usage(|s| s.at_end, "com") > usage(|s| s.at_start, "com"), ".com must rise");
-        assert!(usage(|s| s.at_end, "pro") > usage(|s| s.at_start, "pro"), ".pro must rise");
-        assert!(usage(|s| s.at_end, "net") < usage(|s| s.at_start, "net"), ".net must fall");
-        assert!(usage(|s| s.at_end, "org") > usage(|s| s.at_start, "org"), ".org must rise");
+        assert!(
+            usage(|s| s.at_end, "com") > usage(|s| s.at_start, "com"),
+            ".com must rise"
+        );
+        assert!(
+            usage(|s| s.at_end, "pro") > usage(|s| s.at_start, "pro"),
+            ".pro must rise"
+        );
+        assert!(
+            usage(|s| s.at_end, "net") < usage(|s| s.at_start, "net"),
+            ".net must fall"
+        );
+        assert!(
+            usage(|s| s.at_end, "org") > usage(|s| s.at_start, "org"),
+            ".org must rise"
+        );
         assert!(usage(|s| s.at_end, "ru") > 0.5, ".ru stays dominant");
     }
 

@@ -121,7 +121,10 @@ impl Timeline {
 
     /// The date of a specific event.
     pub fn date_of(&self, event: ConflictEvent) -> Option<Date> {
-        self.events.iter().find(|(_, e)| *e == event).map(|(d, _)| *d)
+        self.events
+            .iter()
+            .find(|(_, e)| *e == event)
+            .map(|(d, _)| *d)
     }
 
     /// All `(date, event)` pairs in order.

@@ -148,7 +148,10 @@ mod tests {
     fn summary() -> ChainSummary {
         ChainSummary {
             subject_cn: "example.ru".into(),
-            san: vec!["example.ru".parse().unwrap(), "www.example.ru".parse().unwrap()],
+            san: vec![
+                "example.ru".parse().unwrap(),
+                "www.example.ru".parse().unwrap(),
+            ],
             issuer_org: "Let's Encrypt".into(),
             chain_orgs: vec!["Internet Security Research Group".into()],
             serial: 12345,

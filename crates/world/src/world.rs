@@ -218,7 +218,9 @@ impl World {
         let root_ip = infra_alloc[pid::ROOT.0 as usize].alloc().expect("root ip");
         let gtld_ip = infra_alloc[pid::ROOT.0 as usize].alloc().expect("gtld ip");
         let ripn_ip = infra_alloc[pid::RIPN.0 as usize].alloc().expect("ripn ip");
-        let scanner_ip = infra_alloc[pid::SCANNER.0 as usize].alloc().expect("scanner ip");
+        let scanner_ip = infra_alloc[pid::SCANNER.0 as usize]
+            .alloc()
+            .expect("scanner ip");
 
         // --- NS hosts & per-plan zone sets ---
         let mut ns_hosts: Vec<NsHost> = Vec::new();
@@ -233,7 +235,9 @@ impl World {
             plan_zone_sets.push(Arc::new(RwLock::new(ZoneSet::new())));
             for h in &plan.ns {
                 let host: DomainName = h.host.parse().expect("catalog host names are valid");
-                let op = *name_to_pid.get(h.operator).expect("catalog operator exists");
+                let op = *name_to_pid
+                    .get(h.operator)
+                    .expect("catalog operator exists");
                 let ip = infra_alloc[op].alloc().expect("infra space");
                 infra_home.entry(host.registrable()).or_insert(plan_i);
                 ns_hosts.push(NsHost {
@@ -495,17 +499,30 @@ impl World {
             let mut g = self.gtld_zones.write();
             for tld in &external {
                 let origin: Name = tld.parse().expect("catalog tlds are valid");
-                root.add(Record::new(origin.clone(), 86_400, RData::Ns(gtld_ns.clone())));
+                root.add(Record::new(
+                    origin.clone(),
+                    86_400,
+                    RData::Ns(gtld_ns.clone()),
+                ));
                 g.insert(Zone::new(origin, Self::plan_soa(&gtld_ns), 86_400));
             }
         }
         self.root_zone.write().insert(root);
-        self.net
-            .bind(self.root_ip, DNS_PORT, Box::new(AuthServer::new(Arc::clone(&self.root_zone))));
-        self.net
-            .bind(self.gtld_ip, DNS_PORT, Box::new(AuthServer::new(Arc::clone(&self.gtld_zones))));
-        self.net
-            .bind(self.ripn_ip, DNS_PORT, Box::new(AuthServer::new(Arc::clone(&self.ripn_zones))));
+        self.net.bind(
+            self.root_ip,
+            DNS_PORT,
+            Box::new(AuthServer::new(Arc::clone(&self.root_zone))),
+        );
+        self.net.bind(
+            self.gtld_ip,
+            DNS_PORT,
+            Box::new(AuthServer::new(Arc::clone(&self.gtld_zones))),
+        );
+        self.net.bind(
+            self.ripn_ip,
+            DNS_PORT,
+            Box::new(AuthServer::new(Arc::clone(&self.ripn_zones))),
+        );
         self.net.bind(
             self.ripn_ip,
             WHOIS_PORT,
@@ -594,14 +611,9 @@ impl World {
         if parent.tld() == "ru" || parent.tld() == "xn--p1ai" {
             let reg = if parent.tld() == "ru" { 0 } else { 1 };
             self.namegen.reserve(parent.clone());
-            let _ = self.registries[reg].register(parent.clone(), self.cfg.start.add_days(-400), 30);
-            let _ = self.registries[reg].set_delegation(
-                parent,
-                Delegation {
-                    nameservers,
-                    glue,
-                },
-            );
+            let _ =
+                self.registries[reg].register(parent.clone(), self.cfg.start.add_days(-400), 30);
+            let _ = self.registries[reg].set_delegation(parent, Delegation { nameservers, glue });
         } else {
             // External TLD: add delegation + glue directly to the TLD zone.
             let tld: Name = parent.tld().parse().expect("valid tld");
@@ -651,7 +663,11 @@ impl World {
 
     /// Sample a managed DNS plan at `date`.
     fn sample_plan(&mut self, date: Date) -> usize {
-        let weights: Vec<f64> = self.plans.iter().map(|p| p.share.at(date).max(0.0)).collect();
+        let weights: Vec<f64> = self
+            .plans
+            .iter()
+            .map(|p| p.share.at(date).max(0.0))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut x = self.rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
         for (i, w) in weights.iter().enumerate() {
@@ -709,7 +725,9 @@ impl World {
                 .random_bool(self.cfg.hosting_part_ru_at_start / self.cfg.hosting_full_ru_at_start)
         {
             let sec = self.sample_hosting(date, Some(false));
-            let ip = self.web_alloc[sec.0 as usize].alloc().expect("address space");
+            let ip = self.web_alloc[sec.0 as usize]
+                .alloc()
+                .expect("address space");
             Some((sec, ip))
         } else {
             None
@@ -717,14 +735,11 @@ impl World {
 
         let dns = dns_override.unwrap_or_else(|| {
             let vanity_own_p = VANITY_OWN_SHARE / self.cfg.hosting_full_ru_at_start;
-            let vanity_exotic_p =
-                VANITY_EXOTIC_SHARE / (1.0 - self.cfg.hosting_full_ru_at_start);
+            let vanity_exotic_p = VANITY_EXOTIC_SHARE / (1.0 - self.cfg.hosting_full_ru_at_start);
             if primary_is_ru && self.rng.random_bool(vanity_own_p.min(1.0)) {
                 DnsPlan::VanityOwn
             } else if !primary_is_ru && self.rng.random_bool(vanity_exotic_p.min(1.0)) {
-                DnsPlan::VanityExotic(
-                    self.rng.random_range(0..catalog::EXOTIC_TLD_COUNT as u16),
-                )
+                DnsPlan::VanityExotic(self.rng.random_range(0..catalog::EXOTIC_TLD_COUNT as u16))
             } else {
                 DnsPlan::Managed(PlanId(self.sample_plan(date) as u16))
             }
@@ -781,42 +796,48 @@ impl World {
     /// infrastructure, according to its current state.
     fn install_domain(&mut self, state: &DomainState) {
         let owner = Name::from(&state.name);
-        let (ns_names, glue, zone_home): (Vec<DomainName>, BTreeMap<DomainName, Vec<Ipv4Addr>>, ZoneHome) =
-            match &state.dns {
-                DnsPlan::Managed(p) => {
-                    let plan_i = p.0 as usize;
-                    let names: Vec<DomainName> = self
-                        .ns_hosts
-                        .iter()
-                        .filter(|h| h.plan == plan_i)
-                        .map(|h| h.name.clone())
-                        .collect();
-                    (names, BTreeMap::new(), ZoneHome::Plan(plan_i))
-                }
-                DnsPlan::VanityOwn => {
-                    let ns1 = state.name.prepend("ns1").expect("valid label");
-                    let ns2 = state.name.prepend("ns2").expect("valid label");
-                    let glue: BTreeMap<DomainName, Vec<Ipv4Addr>> = [
-                        (ns1.clone(), vec![state.hosting.primary_ip]),
-                        (ns2.clone(), vec![state.hosting.primary_ip]),
-                    ]
-                    .into();
-                    (vec![ns1, ns2], glue, ZoneHome::SelfHosted)
-                }
-                DnsPlan::VanityExotic(i) => {
-                    let tld = catalog::exotic_tld(*i as usize);
-                    let sld = state.name.labels().next().expect("non-empty");
-                    let parent: DomainName =
-                        format!("{sld}-dns.{tld}").parse().expect("valid name");
-                    let ns1 = parent.prepend("ns1").expect("valid label");
-                    (vec![ns1], BTreeMap::new(), ZoneHome::ExoticVanity(parent))
-                }
-            };
+        let (ns_names, glue, zone_home): (
+            Vec<DomainName>,
+            BTreeMap<DomainName, Vec<Ipv4Addr>>,
+            ZoneHome,
+        ) = match &state.dns {
+            DnsPlan::Managed(p) => {
+                let plan_i = p.0 as usize;
+                let names: Vec<DomainName> = self
+                    .ns_hosts
+                    .iter()
+                    .filter(|h| h.plan == plan_i)
+                    .map(|h| h.name.clone())
+                    .collect();
+                (names, BTreeMap::new(), ZoneHome::Plan(plan_i))
+            }
+            DnsPlan::VanityOwn => {
+                let ns1 = state.name.prepend("ns1").expect("valid label");
+                let ns2 = state.name.prepend("ns2").expect("valid label");
+                let glue: BTreeMap<DomainName, Vec<Ipv4Addr>> = [
+                    (ns1.clone(), vec![state.hosting.primary_ip]),
+                    (ns2.clone(), vec![state.hosting.primary_ip]),
+                ]
+                .into();
+                (vec![ns1, ns2], glue, ZoneHome::SelfHosted)
+            }
+            DnsPlan::VanityExotic(i) => {
+                let tld = catalog::exotic_tld(*i as usize);
+                let sld = state.name.labels().next().expect("non-empty");
+                let parent: DomainName = format!("{sld}-dns.{tld}").parse().expect("valid name");
+                let ns1 = parent.prepend("ns1").expect("valid label");
+                (vec![ns1], BTreeMap::new(), ZoneHome::ExoticVanity(parent))
+            }
+        };
 
         // The domain's own zone: apex A (+ optional secondary) + NS set.
         let mname = Name::from(&ns_names[0]);
         let mut zone = Zone::new(owner.clone(), Self::plan_soa(&mname), 3_600);
-        zone.add(Record::new(owner.clone(), 300, RData::A(state.hosting.primary_ip)));
+        zone.add(Record::new(
+            owner.clone(),
+            300,
+            RData::A(state.hosting.primary_ip),
+        ));
         if let Some((_, ip)) = state.hosting.secondary {
             zone.add(Record::new(owner.clone(), 300, RData::A(ip)));
         }
@@ -837,22 +858,39 @@ impl World {
                 // AuthServer at the web IP, serving just this zone.
                 let zs: SharedZoneSet = Arc::new(RwLock::new(ZoneSet::new()));
                 zs.write().insert(zone);
-                self.net
-                    .bind(state.hosting.primary_ip, DNS_PORT, Box::new(AuthServer::new(zs)));
+                self.net.bind(
+                    state.hosting.primary_ip,
+                    DNS_PORT,
+                    Box::new(AuthServer::new(zs)),
+                );
             }
             ZoneHome::ExoticVanity(parent) => {
                 // Serve both the parent vanity zone and the domain zone at
                 // the web IP; delegate the parent in its exotic TLD zone.
                 let ns1 = parent.prepend("ns1").expect("valid label");
-                let mut pzone =
-                    Zone::new(Name::from(&parent), Self::plan_soa(&Name::from(&ns1)), 3_600);
-                pzone.add(Record::new(Name::from(&ns1), 3_600, RData::A(state.hosting.primary_ip)));
-                pzone.add(Record::new(Name::from(&parent), 3_600, RData::Ns(Name::from(&ns1))));
+                let mut pzone = Zone::new(
+                    Name::from(&parent),
+                    Self::plan_soa(&Name::from(&ns1)),
+                    3_600,
+                );
+                pzone.add(Record::new(
+                    Name::from(&ns1),
+                    3_600,
+                    RData::A(state.hosting.primary_ip),
+                ));
+                pzone.add(Record::new(
+                    Name::from(&parent),
+                    3_600,
+                    RData::Ns(Name::from(&ns1)),
+                ));
                 let zs: SharedZoneSet = Arc::new(RwLock::new(ZoneSet::new()));
                 zs.write().insert(zone);
                 zs.write().insert(pzone);
-                self.net
-                    .bind(state.hosting.primary_ip, DNS_PORT, Box::new(AuthServer::new(zs)));
+                self.net.bind(
+                    state.hosting.primary_ip,
+                    DNS_PORT,
+                    Box::new(AuthServer::new(zs)),
+                );
                 let tld: Name = parent.tld().parse().expect("valid tld");
                 let mut g = self.gtld_zones.write();
                 if let Some(tzone) = g.get_mut(&tld) {
@@ -861,7 +899,11 @@ impl World {
                     tzone.add(Record::new(powner, 86_400, RData::Ns(Name::from(&ns1))));
                     let nowner = Name::from(&ns1);
                     tzone.remove(&nowner, None);
-                    tzone.add(Record::new(nowner, 86_400, RData::A(state.hosting.primary_ip)));
+                    tzone.add(Record::new(
+                        nowner,
+                        86_400,
+                        RData::A(state.hosting.primary_ip),
+                    ));
                 }
             }
         }
@@ -881,11 +923,17 @@ impl World {
             self.net.bind(
                 state.hosting.primary_ip,
                 TLS_PORT,
-                Box::new(TlsEndpoint::new(Arc::clone(&self.serving), state.hosting.primary_ip)),
+                Box::new(TlsEndpoint::new(
+                    Arc::clone(&self.serving),
+                    state.hosting.primary_ip,
+                )),
             );
             if let Some((_, ip)) = state.hosting.secondary {
-                self.net
-                    .bind(ip, TLS_PORT, Box::new(TlsEndpoint::new(Arc::clone(&self.serving), ip)));
+                self.net.bind(
+                    ip,
+                    TLS_PORT,
+                    Box::new(TlsEndpoint::new(Arc::clone(&self.serving), ip)),
+                );
             }
         }
     }
@@ -945,7 +993,10 @@ impl World {
         for i in 0..n {
             let tld = if i < rf { "рф" } else { "ru" };
             let name = self.namegen.generate(tld);
-            let registered = self.cfg.start.add_days(-reg_dates_rng.random_range(30..2500));
+            let registered = self
+                .cfg
+                .start
+                .add_days(-reg_dates_rng.random_range(30..2500));
             self.add_domain(name, registered, None, None, false);
         }
     }
@@ -1061,7 +1112,8 @@ impl World {
                 ];
                 (SanctionSource::UkSanctions, waves[i % 3])
             };
-            self.sanctions.add(name, source, date.min(Date::from_ymd(2022, 3, 11)));
+            self.sanctions
+                .add(name, source, date.min(Date::from_ymd(2022, 3, 11)));
         }
     }
 
@@ -1083,8 +1135,11 @@ impl World {
             let name = format!("russian-affiliate-{i:02}.{tld}");
             let host = ProviderId(pid::RU_GENERIC_BASE + (i as u16 % pid::RU_GENERIC_COUNT));
             let ip = self.web_alloc[host.0 as usize].alloc().expect("space");
-            self.net
-                .bind(ip, TLS_PORT, Box::new(TlsEndpoint::new(Arc::clone(&self.serving), ip)));
+            self.net.bind(
+                ip,
+                TLS_PORT,
+                Box::new(TlsEndpoint::new(Arc::clone(&self.serving), ip)),
+            );
             self.extra_sites.push((name, ip));
         }
     }
@@ -1186,11 +1241,7 @@ impl World {
     /// Remove infrastructure faults whose calendar span ended by `date`,
     /// plus any whose virtual-time window has elapsed.
     fn lift_expired_faults(&mut self, date: Date) {
-        let due: Vec<Date> = self
-            .fault_clears
-            .range(..=date)
-            .map(|(d, _)| *d)
-            .collect();
+        let due: Vec<Date> = self.fault_clears.range(..=date).map(|(d, _)| *d).collect();
         for d in due {
             if let Some(targets) = self.fault_clears.remove(&d) {
                 for (addr, port) in targets {
@@ -1304,8 +1355,8 @@ impl World {
             .map(|d| d.name.clone())
             .collect();
         let sanctioned_total = self.domains.values().filter(|d| d.sanctioned).count();
-        let n_sanctioned = ((sanctioned_total as f64 * 0.34).round() as usize)
-            .min(sanctioned_targets.len());
+        let n_sanctioned =
+            ((sanctioned_total as f64 * 0.34).round() as usize).min(sanctioned_targets.len());
         let mut targets: Vec<RussianCaTarget> = sanctioned_targets
             .into_iter()
             .take(n_sanctioned)
@@ -1321,7 +1372,10 @@ impl World {
         names.sort();
         let eligible = |world: &Self, name: &DomainName| {
             world.domains.get(name).is_some_and(|d| {
-                !d.sanctioned && world.providers[d.hosting.primary.0 as usize].country.is_russia()
+                !d.sanctioned
+                    && world.providers[d.hosting.primary.0 as usize]
+                        .country
+                        .is_russia()
             })
         };
         let mut ordinary: Vec<DomainName> = names
@@ -1585,7 +1639,9 @@ impl World {
         if state.hosting.primary == to {
             return;
         }
-        let new_ip = self.web_alloc[to.0 as usize].alloc().expect("address space");
+        let new_ip = self.web_alloc[to.0 as usize]
+            .alloc()
+            .expect("address space");
         let old_ip = state.hosting.primary_ip;
 
         // Update zone A record wherever the domain's zone lives.
@@ -1614,8 +1670,11 @@ impl World {
             if let Some(chain) = chain {
                 self.serving.write().insert(new_ip, chain);
             }
-            self.net
-                .bind(new_ip, TLS_PORT, Box::new(TlsEndpoint::new(Arc::clone(&self.serving), new_ip)));
+            self.net.bind(
+                new_ip,
+                TLS_PORT,
+                Box::new(TlsEndpoint::new(Arc::clone(&self.serving), new_ip)),
+            );
         }
 
         self.hosting_members[state.hosting.primary.0 as usize].remove(name);
@@ -1717,9 +1776,12 @@ impl World {
                     continue;
                 }
                 let brand = if leak_brand {
-                    1 + (self.rng.random_range(0..self.ca_specs[i].brands.len().max(2) - 1))
+                    1 + (self
+                        .rng
+                        .random_range(0..self.ca_specs[i].brands.len().max(2) - 1))
                 } else {
-                    self.rng.random_range(0..self.ca_specs[i].brands.len().max(1))
+                    self.rng
+                        .random_range(0..self.ca_specs[i].brands.len().max(1))
                 };
                 self.issue_for(CaId(i as u16), &name, brand, date, leak_brand);
             }
@@ -1772,7 +1834,9 @@ impl World {
             if stopped || self.refuses_sanctioned(ca, date) {
                 continue;
             }
-            let brand = self.rng.random_range(0..self.ca_specs[ca.0 as usize].brands.len().max(1));
+            let brand = self
+                .rng
+                .random_range(0..self.ca_specs[ca.0 as usize].brands.len().max(1));
             self.issue_for(ca, &name, brand, date, false);
         }
     }
@@ -1821,7 +1885,8 @@ impl World {
             let summary = ChainSummary::from_certificate(&cert);
             let mut serving = self.serving.write();
             let keeps_russian = |ip: &std::net::Ipv4Addr, s: &HashMap<Ipv4Addr, ChainSummary>| {
-                s.get(ip).is_some_and(|c| c.chain_contains_org("Russian Trusted Root CA"))
+                s.get(ip)
+                    .is_some_and(|c| c.chain_contains_org("Russian Trusted Root CA"))
             };
             if !keeps_russian(&d.hosting.primary_ip, &serving) {
                 serving.insert(d.hosting.primary_ip, summary.clone());
@@ -2156,7 +2221,10 @@ mod tests {
             total += k;
         }
         let mean = total as f64 / 200.0;
-        assert!((80.0..120.0).contains(&mean), "mean {mean} too far from 100");
+        assert!(
+            (80.0..120.0).contains(&mean),
+            "mean {mean} too far from 100"
+        );
     }
 
     #[test]
@@ -2278,10 +2346,16 @@ mod tests {
         let member = w.portfolio.first().cloned().expect("portfolio exists");
         assert_eq!(w.domain_state(&member).unwrap().hosting.primary, pid::SEDO);
         w.advance_to(Date::from_ymd(2022, 2, 26));
-        assert_eq!(w.domain_state(&member).unwrap().hosting.primary, pid::AMAZON);
+        assert_eq!(
+            w.domain_state(&member).unwrap().hosting.primary,
+            pid::AMAZON
+        );
         w.advance_to(Date::from_ymd(2022, 3, 13));
         assert_eq!(w.domain_state(&member).unwrap().hosting.primary, pid::SEDO);
         w.advance_to(Date::from_ymd(2022, 4, 20));
-        assert_eq!(w.domain_state(&member).unwrap().hosting.primary, pid::SERVEREL);
+        assert_eq!(
+            w.domain_state(&member).unwrap().hosting.primary,
+            pid::SERVEREL
+        );
     }
 }

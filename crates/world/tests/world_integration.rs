@@ -37,7 +37,9 @@ fn seed_names_are_sorted_and_complete() {
     sorted.sort();
     assert_eq!(seeds, sorted);
     // Seeds include the sanctioned domains and infra domains like reg.ru.
-    assert!(seeds.iter().any(|d| d.as_str().starts_with("sanctioned-entity-")));
+    assert!(seeds
+        .iter()
+        .any(|d| d.as_str().starts_with("sanctioned-entity-")));
     assert!(seeds.iter().any(|d| d.as_str() == "reg.ru"));
 }
 
@@ -88,13 +90,15 @@ fn vanity_dns_domains_resolve() {
     let vanity: Vec<DomainName> = seeds
         .iter()
         .filter(|d| {
-            w.domain_state(d).is_some_and(|s| {
-                matches!(s.dns, DnsPlan::VanityOwn | DnsPlan::VanityExotic(_))
-            })
+            w.domain_state(d)
+                .is_some_and(|s| matches!(s.dns, DnsPlan::VanityOwn | DnsPlan::VanityExotic(_)))
         })
         .cloned()
         .collect();
-    assert!(!vanity.is_empty(), "tiny world should have vanity-NS domains");
+    assert!(
+        !vanity.is_empty(),
+        "tiny world should have vanity-NS domains"
+    );
     let mut resolver = IterativeResolver::new(w.scanner_ip(), w.root_hints());
     let mut resolved = 0;
     for d in vanity.iter().take(5) {
@@ -111,10 +115,7 @@ fn vanity_dns_domains_resolve() {
 #[test]
 fn netnod_event_rehomes_cloud_hosts() {
     let mut w = tiny_world();
-    let netnod_date = w
-        .timeline()
-        .date_of(ConflictEvent::NetnodRehoming)
-        .unwrap();
+    let netnod_date = w.timeline().date_of(ConflictEvent::NetnodRehoming).unwrap();
 
     // Resolve ns4-cloud.nic.ru before and after the event.
     w.publish_tld_zones();
@@ -126,7 +127,11 @@ fn netnod_event_rehomes_cloud_hosts() {
         .addresses();
     assert_eq!(before.len(), 1);
     let cc_before = w.geo().lookup(w.today(), before[0]).unwrap();
-    assert_eq!(cc_before.code(), "SE", "cloud host starts at Netnod (Sweden)");
+    assert_eq!(
+        cc_before.code(),
+        "SE",
+        "cloud host starts at Netnod (Sweden)"
+    );
 
     w.advance_to(netnod_date);
     w.publish_tld_zones();
@@ -145,7 +150,10 @@ fn netnod_event_rehomes_cloud_hosts() {
 fn certificates_flow_into_ct_log_and_endpoints() {
     let mut w = tiny_world();
     w.advance_to(Date::from_ymd(2022, 2, 1));
-    assert!(w.ct_log().size() > 0, "CT log should have entries by February");
+    assert!(
+        w.ct_log().size() > 0,
+        "CT log should have entries by February"
+    );
 
     // Russian CA issuance never reaches CT.
     let russian = w
@@ -200,9 +208,7 @@ fn sanctioned_revocation_sweeps_happen() {
     for org in ["DigiCert", "Sectigo"] {
         let issued: Vec<u64> = w
             .issued_certificates()
-            .filter(|(ca, _, _, sanctioned)| {
-                *sanctioned && w.ca_specs()[ca.0 as usize].org == org
-            })
+            .filter(|(ca, _, _, sanctioned)| *sanctioned && w.ca_specs()[ca.0 as usize].org == org)
             .map(|(_, serial, _, _)| serial)
             .collect();
         let crl = w.ocsp().crl(org);
@@ -250,7 +256,10 @@ fn population_evolves_and_stays_consistent() {
     w.advance_to(Date::from_ymd(2022, 3, 15));
     let p1 = w.population();
     // Growth plus churn keeps population in a sane band.
-    assert!(p1 > p0 / 2 && p1 < p0 * 2, "population went wild: {p0} → {p1}");
+    assert!(
+        p1 > p0 / 2 && p1 < p0 * 2,
+        "population went wild: {p0} → {p1}"
+    );
     // Registry and domain map agree.
     let reg_total: usize = w.registries().iter().map(|r| r.count()).sum();
     // Registries also hold infra domains (reg.ru, nic.ru, …).
@@ -276,7 +285,10 @@ fn deterministic_across_runs() {
 #[test]
 fn google_intra_move_shifts_hosting() {
     let mut w = tiny_world();
-    let date = w.timeline().date_of(ConflictEvent::GoogleIntraMove).unwrap();
+    let date = w
+        .timeline()
+        .date_of(ConflictEvent::GoogleIntraMove)
+        .unwrap();
     let count_at = |w: &World, pid: ruwhere_world::catalog::ProviderId| {
         w.seed_names()
             .iter()

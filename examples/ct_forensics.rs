@@ -24,7 +24,10 @@ fn main() {
     world.advance_to(Date::from_ymd(2022, 5, 15));
     world.finalize_ocsp();
     let head = world.ct_log().sth();
-    println!("CT head:       size {} root {:02x}{:02x}…", head.tree_size, head.root[0], head.root[1]);
+    println!(
+        "CT head:       size {} root {:02x}{:02x}…",
+        head.tree_size, head.root[0], head.root[1]
+    );
 
     // The monitor verifies append-only growth with a consistency proof.
     let proof = world
@@ -47,7 +50,10 @@ fn main() {
     let inclusion = world.ct_log().inclusion_proof(idx, head.tree_size).unwrap();
     let leaf = world.ct_log().leaf_at(idx).unwrap();
     assert!(verify_inclusion(&leaf, &inclusion, &head.root));
-    println!("inclusion proof for entry {idx}: {} nodes ✓\n", inclusion.audit_path.len());
+    println!(
+        "inclusion proof for entry {idx}: {} nodes ✓\n",
+        inclusion.audit_path.len()
+    );
 
     // §4.1: who issues for .ru/.рф in each period?
     let certs = CertDataset::from_log(
@@ -99,12 +105,8 @@ fn main() {
     // scanning served chains.
     let scanner = IpScanner::new(&world);
     let snapshot = scanner.scan(&mut world);
-    let analysis = RussianCaAnalysis::new(
-        &snapshot,
-        &certs,
-        &sanctions,
-        Date::from_ymd(2022, 5, 15),
-    );
+    let analysis =
+        RussianCaAnalysis::new(&snapshot, &certs, &sanctions, Date::from_ymd(2022, 5, 15));
     println!(
         "\nRussian Trusted Root CA: {} served certs ({} on .ru, {} on .рф), {}–{:.0}% of sanctioned list, {} in CT",
         analysis.unique_certs,

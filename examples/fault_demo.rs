@@ -36,7 +36,11 @@ fn main() {
             sweep.date,
             sweep.domains.len(),
             s.seeded,
-            if sweep.is_partial() { "PARTIAL" } else { "full   " },
+            if sweep.is_partial() {
+                "PARTIAL"
+            } else {
+                "full   "
+            },
             s.timeouts,
             s.servfails,
             s.lame,

@@ -41,10 +41,22 @@ fn main() {
     // Figures 6 and 7: movement out of Amazon and Sedo.
     let end = results.retained.keys().next_back().copied().unwrap();
     for (asn, label, start, paper) in [
-        (Asn::AMAZON, "Figure 6 (Amazon)", Date::from_ymd(2022, 3, 8), ">50% relocated, 43% remained, 574 new + 988 relocated in"),
-        (Asn::SEDO, "Figure 7 (Sedo)", Date::from_ymd(2022, 3, 8), "98% relocated, 2.7k remained, 311 in"),
+        (
+            Asn::AMAZON,
+            "Figure 6 (Amazon)",
+            Date::from_ymd(2022, 3, 8),
+            ">50% relocated, 43% remained, 574 new + 988 relocated in",
+        ),
+        (
+            Asn::SEDO,
+            "Figure 7 (Sedo)",
+            Date::from_ymd(2022, 3, 8),
+            "98% relocated, 2.7k remained, 311 in",
+        ),
     ] {
-        if let Some((table, report)) = figures::movement_table(&results, asn, label, start, end, paper) {
+        if let Some((table, report)) =
+            figures::movement_table(&results, asn, label, start, end, paper)
+        {
             println!("{}", table.render());
             let dests = report.destinations();
             if let Some((top_dest, n)) = dests.iter().max_by_key(|(_, n)| **n) {

@@ -26,22 +26,37 @@ fn main() {
         Some(s) => s.parse().expect("invalid name"),
         None => {
             // No argument: pick the first seeded domain.
-            let d = world.seed_names().into_iter().next().expect("world has domains");
+            let d = world
+                .seed_names()
+                .into_iter()
+                .next()
+                .expect("world has domains");
             Name::from(&d)
         }
     };
 
     let mut resolver = IterativeResolver::new(world.scanner_ip(), world.root_hints());
     resolver.enable_trace();
-    println!(";; resolving {qname} IN {rtype} from {}\n", world.scanner_ip());
+    println!(
+        ";; resolving {qname} IN {rtype} from {}\n",
+        world.scanner_ip()
+    );
 
     let result = resolver.resolve(world.network_mut(), &qname, rtype);
     for ev in resolver.take_trace() {
         match ev {
-            TraceEvent::Query { server, qname, rtype } => {
+            TraceEvent::Query {
+                server,
+                qname,
+                rtype,
+            } => {
                 println!(";; -> query {server:<16} {qname} IN {rtype}")
             }
-            TraceEvent::Referral { cut, glue, rejected_glue } => {
+            TraceEvent::Referral {
+                cut,
+                glue,
+                rejected_glue,
+            } => {
                 println!(";; <- referral below {cut} ({glue} glue, {rejected_glue} rejected)")
             }
             TraceEvent::Timeout { server } => println!(";; !! timeout from {server}"),

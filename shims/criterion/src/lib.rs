@@ -60,9 +60,7 @@ fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) 
         }
         None => String::new(),
     };
-    eprintln!(
-        "bench {name:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{rate}"
-    );
+    eprintln!("bench {name:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{rate}");
 }
 
 /// Top-level benchmark driver.

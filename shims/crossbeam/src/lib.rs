@@ -56,7 +56,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scope_joins_and_returns() {
-        let xs = vec![1, 2, 3];
+        let xs = [1, 2, 3];
         let sum = crate::thread::scope(|s| {
             let a = s.spawn(|_| xs.iter().sum::<i32>());
             let b = s.spawn(|_| 10);

@@ -208,6 +208,8 @@ impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
 impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
 impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
 impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
 
 /// A `Vec` of strategies generates element-wise (used to build a record
 /// per index, then collect).
@@ -582,7 +584,9 @@ pub mod string {
                     }
                 }
                 '\\' => {
-                    let esc = input.pop().ok_or_else(|| Error("dangling backslash".into()))?;
+                    let esc = input
+                        .pop()
+                        .ok_or_else(|| Error("dangling backslash".into()))?;
                     if let Some(p) = pending.replace(esc) {
                         ranges.push((p, p));
                     }
@@ -758,7 +762,7 @@ pub mod prelude {
 
     /// Namespaced access mirroring `proptest::prelude::prop`.
     pub mod prop {
-        pub use crate::{collection, sample, string, strategy};
+        pub use crate::{collection, sample, strategy, string};
     }
 }
 
@@ -775,7 +779,9 @@ mod tests {
         for _ in 0..200 {
             let s = strat.gen_value(&mut rng);
             assert!(!s.is_empty() && s.len() <= 16, "bad len: {s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
             assert!(!s.starts_with('-') && !s.ends_with('-'), "bad edge: {s:?}");
         }
         let cyr = crate::string::string_regex("[а-яё]{1,20}").unwrap();
@@ -783,7 +789,10 @@ mod tests {
             let s = cyr.gen_value(&mut rng);
             let n = s.chars().count();
             assert!((1..=20).contains(&n));
-            assert!(s.chars().all(|c| ('а'..='я').contains(&c) || c == 'ё'), "{s:?}");
+            assert!(
+                s.chars().all(|c| ('а'..='я').contains(&c) || c == 'ё'),
+                "{s:?}"
+            );
         }
         let nc = crate::string::string_regex("\\PC{0,60}").unwrap();
         for _ in 0..50 {

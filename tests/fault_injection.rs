@@ -78,9 +78,7 @@ fn sweep_under(spec: &PlanSpec) -> DailySweep {
     let mut world = World::new(cfg);
 
     let mode = if spec.server_flaps {
-        ServerFaultMode::Flapping {
-            period_us: 750_000,
-        }
+        ServerFaultMode::Flapping { period_us: 750_000 }
     } else {
         ServerFaultMode::Outage
     };
@@ -159,7 +157,10 @@ fn tld_outage_with_background_loss_degrades_gracefully() {
 
     world.advance_to(outage);
     let gap = scanner.sweep(&mut world);
-    assert!(gap.is_partial(), "a TLD outage day must be salvaged as partial");
+    assert!(
+        gap.is_partial(),
+        "a TLD outage day must be salvaged as partial"
+    );
     assert!(gap.stats.ns_failures * 2 > gap.stats.seeded);
     assert!(gap.stats.timeouts > 0, "the outage manifests as timeouts");
     assert!(gap.stats.retries_spent > 0);

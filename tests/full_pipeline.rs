@@ -130,15 +130,9 @@ fn finding_6_serverel_absorbs_the_exodus() {
 fn finding_7_cloudflare_business_as_usual() {
     let r = study();
     let end = *r.retained.keys().next_back().unwrap();
-    let (_, cf) = figures::movement_table(
-        r,
-        Asn::CLOUDFLARE,
-        "t",
-        Date::from_ymd(2022, 3, 7),
-        end,
-        "",
-    )
-    .unwrap();
+    let (_, cf) =
+        figures::movement_table(r, Asn::CLOUDFLARE, "t", Date::from_ymd(2022, 3, 7), end, "")
+            .unwrap();
     let orig = cf.original().max(1);
     assert!(
         cf.remained() as f64 / orig as f64 > 0.75,
@@ -155,7 +149,12 @@ fn finding_8_lets_encrypt_concentration() {
     let pre = &table.periods[&Period::PreConflict];
     let post = &table.periods[&Period::PostSanctions];
     let le_pre = pre.0.iter().find(|x| x.org == "Let's Encrypt").unwrap().pct;
-    let le_post = post.0.iter().find(|x| x.org == "Let's Encrypt").unwrap().pct;
+    let le_post = post
+        .0
+        .iter()
+        .find(|x| x.org == "Let's Encrypt")
+        .unwrap()
+        .pct;
     assert!(le_pre > 80.0, "LE dominates pre-conflict: {le_pre:.1}%");
     assert!(
         le_post > le_pre,
@@ -166,14 +165,12 @@ fn finding_8_lets_encrypt_concentration() {
 #[test]
 fn finding_9_issuance_volume_dips_mildly() {
     let r = study();
-    let pre = r.issuance.daily_volume(
-        Date::from_ymd(2022, 1, 1),
-        Date::from_ymd(2022, 2, 23),
-    );
-    let post = r.issuance.daily_volume(
-        Date::from_ymd(2022, 3, 27),
-        Date::from_ymd(2022, 5, 15),
-    );
+    let pre = r
+        .issuance
+        .daily_volume(Date::from_ymd(2022, 1, 1), Date::from_ymd(2022, 2, 23));
+    let post = r
+        .issuance
+        .daily_volume(Date::from_ymd(2022, 3, 27), Date::from_ymd(2022, 5, 15));
     assert!(pre > 0.0);
     let ratio = post / pre;
     assert!(
@@ -222,9 +219,16 @@ fn measurement_agrees_with_paper_structure() {
     assert!(r.tld_usage.distinct_tlds() > 10);
     let final_sweep = r.final_sweep().unwrap();
     assert!(final_sweep.domains.iter().any(|d| d.domain.tld() == "ru"));
-    assert!(final_sweep.domains.iter().any(|d| d.domain.tld() == "xn--p1ai"));
+    assert!(final_sweep
+        .domains
+        .iter()
+        .any(|d| d.domain.tld() == "xn--p1ai"));
     // Resolution health.
-    let resolved = final_sweep.domains.iter().filter(|d| d.has_ns_data()).count();
+    let resolved = final_sweep
+        .domains
+        .iter()
+        .filter(|d| d.has_ns_data())
+        .count();
     assert!(resolved * 100 >= final_sweep.domains.len() * 90);
 }
 

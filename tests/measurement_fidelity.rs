@@ -111,7 +111,11 @@ fn sanctioned_subset_is_measured_completely() {
     let mut found = 0;
     for rec in &sweep.domains {
         if sanctions.is_sanctioned(&rec.domain, Date::from_ymd(2022, 12, 31)) {
-            assert!(rec.has_ns_data(), "sanctioned {} failed to resolve", rec.domain);
+            assert!(
+                rec.has_ns_data(),
+                "sanctioned {} failed to resolve",
+                rec.domain
+            );
             found += 1;
         }
     }
