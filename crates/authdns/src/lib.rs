@@ -24,7 +24,7 @@ pub mod resolver;
 pub mod server;
 
 pub use resolver::{
-    IterativeResolver, NoDependencyCache, NsDependencyCache, Resolution, ResolveError,
+    IterativeResolver, NoDependencyCache, NsDependencyCache, Resolution, ResolveError, ResolverObs,
     ResolverStats, RootHint, TraceEvent,
 };
 pub use server::{AuthServer, ServerBehavior, SharedZoneSet, ZoneSet};

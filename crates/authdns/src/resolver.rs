@@ -12,6 +12,7 @@
 
 use ruwhere_dns::{Message, Name, RData, RType, Rcode, Record};
 use ruwhere_netsim::{SimTime, Transport};
+use ruwhere_obs::Histogram;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -184,6 +185,41 @@ pub struct ResolverStats {
     pub retries_spent: u64,
 }
 
+/// Observability aggregates for one resolver (or one per-domain fork).
+///
+/// Like [`ResolverStats`] these are monotone and zeroed on
+/// [`fork`](IterativeResolver::fork), so a fork's aggregates are exactly
+/// one domain's resolution behaviour. All fields merge by addition
+/// (histograms bucket-wise), so per-fork instances fold into sweep totals
+/// independent of worker count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolverObs {
+    /// Smoothed-RTT estimate (µs), sampled after every successful
+    /// exchange — the resolver's evolving view of server speed.
+    pub srtt_us: Histogram,
+    /// Servers entering the penalty box (a first failure after a clean
+    /// streak; consecutive failures extend the box, they don't re-enter).
+    pub penalty_entries: u64,
+    /// Penalized servers observed healthy again (a success that cleared a
+    /// non-zero failure streak).
+    pub penalty_exits: u64,
+    /// Resolutions answered from the in-resolver answer cache.
+    pub answer_cache_hits: u64,
+    /// NS-target lookups served by the shared [`NsDependencyCache`].
+    pub deps_cache_hits: u64,
+}
+
+impl ResolverObs {
+    /// Fold another aggregate in (commutative, associative).
+    pub fn merge(&mut self, other: &ResolverObs) {
+        self.srtt_us.merge(&other.srtt_us);
+        self.penalty_entries += other.penalty_entries;
+        self.penalty_exits += other.penalty_exits;
+        self.answer_cache_hits += other.answer_cache_hits;
+        self.deps_cache_hits += other.deps_cache_hits;
+    }
+}
+
 /// Per-server health, unbound-infra-cache style: a smoothed RTT estimate
 /// and an exponentially growing penalty box for consecutive failures.
 #[derive(Debug, Clone, Copy)]
@@ -265,12 +301,17 @@ pub struct IterativeResolver {
     /// Disable to get the naive fixed-order resolver (for ablations: the
     /// flapping-server experiment measures the queries this saves).
     pub penalty_box_enabled: bool,
+    /// Whether observability aggregates ([`obs`](Self::obs)) are recorded.
+    /// On by default; benchmarks disable it to measure the
+    /// instrumentation's own overhead.
+    pub obs_enabled: bool,
     next_id: u16,
     answer_cache: HashMap<(Name, RType), Result<Resolution, ResolveError>>,
     cut_cache: HashMap<Name, Vec<Ipv4Addr>>,
     health: HashMap<Ipv4Addr, ServerHealth>,
     queries_sent: u64,
     stats: ResolverStats,
+    obs: ResolverObs,
     trace: Option<Vec<TraceEvent>>,
 }
 
@@ -301,12 +342,14 @@ impl IterativeResolver {
             timeout_us: 2_000_000,
             attempts: 2,
             penalty_box_enabled: true,
+            obs_enabled: true,
             next_id: 1,
             answer_cache: HashMap::new(),
             cut_cache: HashMap::new(),
             health: HashMap::new(),
             queries_sent: 0,
             stats: ResolverStats::default(),
+            obs: ResolverObs::default(),
             trace: None,
         }
     }
@@ -338,6 +381,28 @@ impl IterativeResolver {
     /// Cumulative failure-cause counters.
     pub fn stats(&self) -> ResolverStats {
         self.stats
+    }
+
+    /// Observability aggregates: SRTT distribution, penalty-box churn,
+    /// and cache-hit counters.
+    pub fn obs(&self) -> &ResolverObs {
+        &self.obs
+    }
+
+    /// Drain the observability aggregates (merge a fork's into per-worker
+    /// totals).
+    pub fn take_obs(&mut self) -> ResolverObs {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Hand an already-populated aggregate to this resolver to keep
+    /// recording into. Paired with [`take_obs`](Self::take_obs) this lets
+    /// a sweep worker thread one accumulator through a sequence of
+    /// short-lived forks instead of allocating (and merging) a fresh
+    /// histogram per fork — every recorded operation is a commutative
+    /// integer fold, so the result is identical either way.
+    pub fn install_obs(&mut self, obs: ResolverObs) {
+        self.obs = obs;
     }
 
     /// Drop all cached answers and zone cuts (start of a new daily sweep).
@@ -406,12 +471,14 @@ impl IterativeResolver {
             timeout_us: self.timeout_us,
             attempts: self.attempts,
             penalty_box_enabled: self.penalty_box_enabled,
+            obs_enabled: self.obs_enabled,
             next_id: self.next_id,
             answer_cache: self.answer_cache.clone(),
             cut_cache: self.cut_cache.clone(),
             health,
             queries_sent: 0,
             stats: ResolverStats::default(),
+            obs: ResolverObs::default(),
             trace: None,
         }
     }
@@ -466,7 +533,11 @@ impl IterativeResolver {
             return Err(ResolveError::BudgetExhausted);
         }
         if let Some(cached) = self.answer_cache.get(&(name.clone(), rtype)) {
-            return cached.clone();
+            let cached = cached.clone();
+            if self.obs_enabled {
+                self.obs.answer_cache_hits += 1;
+            }
+            return cached;
         }
         let result = self.resolve_uncached(net, name, rtype, budget, retries, depth, deps);
         // Cache everything except transient failures: timeouts and
@@ -515,15 +586,27 @@ impl IterativeResolver {
         let h = self.health.entry(server).or_default();
         // EWMA with 1/8 gain, like classic TCP SRTT.
         h.srtt_us = h.srtt_us - h.srtt_us / 8 + rtt_us / 8;
+        let srtt = h.srtt_us;
+        let was_failing = h.fails > 0;
         h.fails = 0;
         h.penalized_until = SimTime::ZERO;
+        if self.obs_enabled {
+            self.obs.srtt_us.record(srtt);
+            if was_failing {
+                self.obs.penalty_exits += 1;
+            }
+        }
     }
 
     fn note_failure(&mut self, server: Ipv4Addr, now: SimTime) {
         let h = self.health.entry(server).or_default();
+        let entered = h.fails == 0;
         h.fails = h.fails.saturating_add(1);
         let shift = (h.fails - 1).min(PENALTY_MAX_SHIFT);
         h.penalized_until = now.plus_us(PENALTY_BASE_US << shift);
+        if self.obs_enabled && entered {
+            self.obs.penalty_entries += 1;
+        }
     }
 
     fn send_query<T: Transport>(
@@ -742,6 +825,9 @@ impl IterativeResolver {
                     // engine provides one, inline otherwise.
                     for t in &targets {
                         if let Some(shared) = deps.ns_target_a(t) {
+                            if self.obs_enabled {
+                                self.obs.deps_cache_hits += 1;
+                            }
                             addrs.extend(shared);
                         } else if let Ok(res) =
                             self.resolve_inner(net, t, RType::A, budget, retries, depth + 1, deps)

@@ -4,7 +4,7 @@
 //! sharding overhead and speedup in isolation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ruwhere_scan::{available_workers, OpenIntelScanner};
+use ruwhere_scan::{available_workers, OpenIntelScanner, SweepOptions};
 use ruwhere_world::{World, WorldConfig};
 use std::hint::black_box;
 
@@ -12,14 +12,22 @@ fn bench_sweep_workers(c: &mut Criterion) {
     let mut g = c.benchmark_group("sweep");
     g.sample_size(10);
     for workers in [1, available_workers()] {
-        g.bench_function(&format!("daily_sweep_{workers}w"), |b| {
-            b.iter(|| {
-                let mut world = World::new(WorldConfig::tiny());
-                let mut scanner = OpenIntelScanner::new(&world);
-                scanner.set_workers(workers);
-                black_box(scanner.sweep(&mut world))
-            })
-        });
+        // Instrumented vs uninstrumented: the pair of series is the
+        // observability overhead measurement (EXPERIMENTS.md).
+        for (label, collect) in [("", true), ("_nometrics", false)] {
+            g.bench_function(&format!("daily_sweep_{workers}w{label}"), |b| {
+                b.iter(|| {
+                    let mut world = World::new(WorldConfig::tiny());
+                    let mut scanner = OpenIntelScanner::with_options(
+                        &world,
+                        SweepOptions::new()
+                            .workers(workers)
+                            .collect_metrics(collect),
+                    );
+                    black_box(scanner.sweep(&mut world))
+                })
+            });
+        }
     }
     g.finish();
 }

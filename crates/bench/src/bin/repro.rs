@@ -21,6 +21,12 @@
 //! * `--check-baseline FILE`  after `--bench-sweep`, gate the measured
 //!   throughput against the committed baseline `FILE`: exit 1 if any
 //!   worker count regresses more than 15% in queries/sec.
+//! * `--metrics FILE`  sweep the pinned fixture once with metric
+//!   collection on (`RUWHERE_WORKERS` honored) and write the run-level
+//!   observability export (`METRICS_sweep.json`: per-cause latency
+//!   histograms, per-link transport tables, resolver counters). The file
+//!   is byte-identical for any worker count — CI compares a 1-worker and
+//!   a 4-worker run with `cmp`. Composes with `--bench-sweep`.
 
 use ruwhere_core::figures;
 use ruwhere_core::{run_study, StudyConfig};
@@ -35,6 +41,7 @@ struct Args {
     ablation_geolag: bool,
     bench_sweep: Option<std::path::PathBuf>,
     check_baseline: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +52,7 @@ fn parse_args() -> Args {
         ablation_geolag: false,
         bench_sweep: None,
         check_baseline: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -71,6 +79,13 @@ fn parse_args() -> Args {
                         .into(),
                 );
             }
+            "--metrics" => {
+                args.metrics = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --metrics"))
+                        .into(),
+                );
+            }
             "--out" => {
                 args.out = Some(
                     it.next()
@@ -91,7 +106,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--ablation-geolag]\n\
-         \x20            [--bench-sweep FILE [--check-baseline BASELINE]]"
+         \x20            [--bench-sweep FILE [--check-baseline BASELINE]]\n\
+         \x20            [--metrics FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -139,6 +155,25 @@ fn run_bench_sweep(out: &std::path::Path, baseline: Option<&std::path::Path>) {
             }
         }
     }
+}
+
+/// Metrics-export mode: sweep the pinned fixture with metric collection
+/// on and write the run-level `METRICS_sweep.json`. Worker count comes
+/// from `RUWHERE_WORKERS` (default: available parallelism); the exported
+/// bytes do not depend on it.
+fn run_metrics_export(out: &std::path::Path) {
+    let workers = ruwhere_scan::available_workers();
+    eprintln!("metrics: sweeping the fixture with {workers} workers, metrics on…");
+    let (metrics, days) = ruwhere_bench::collect_sweep_metrics(workers);
+    let json = ruwhere_bench::render_metrics_json(&metrics, days);
+    std::fs::write(out, &json).expect("write metrics artifact");
+    eprintln!(
+        "wrote {} ({} days, {} delivered-packet samples, {} SRTT samples)",
+        out.display(),
+        days,
+        metrics.net.delay_us.count(),
+        metrics.resolver.srtt_us.count(),
+    );
 }
 
 /// Run the footnote-5 ablation: two studies in parallel, identical except
@@ -204,10 +239,17 @@ fn main() {
     let args = parse_args();
     if let Some(out) = &args.bench_sweep {
         run_bench_sweep(out, args.check_baseline.as_deref());
+        if let Some(m) = &args.metrics {
+            run_metrics_export(m);
+        }
         return;
     }
     if args.check_baseline.is_some() {
         usage("--check-baseline requires --bench-sweep");
+    }
+    if let Some(m) = &args.metrics {
+        run_metrics_export(m);
+        return;
     }
     if args.ablation_geolag {
         run_geolag_ablation(args.scale.max(1000));

@@ -10,7 +10,7 @@
 //! gates regressions against a committed baseline.
 
 use ruwhere_core::{run_study, StudyConfig, StudyResults};
-use ruwhere_scan::OpenIntelScanner;
+use ruwhere_scan::{OpenIntelScanner, SweepMetrics, SweepOptions};
 use ruwhere_types::Date;
 use ruwhere_world::{World, WorldConfig};
 use std::sync::OnceLock;
@@ -73,15 +73,29 @@ pub struct SweepBenchRow {
 /// Measure sweep throughput at each worker count on the pinned fixture:
 /// a fresh tiny world per count (identical by construction), sweeping
 /// `$RUWHERE_BENCH_DAYS` consecutive days (default
-/// [`DEFAULT_BENCH_DAYS`]). Only `sweep()` calls are timed.
+/// [`DEFAULT_BENCH_DAYS`]). Only `sweep()` calls are timed. Metrics
+/// collection is ON — the CI throughput gate measures the instrumented
+/// engine, so instrumentation overhead that regresses throughput past the
+/// gate's tolerance fails the bench job.
 pub fn bench_sweep(worker_counts: &[usize]) -> Vec<SweepBenchRow> {
+    bench_sweep_opts(worker_counts, true)
+}
+
+/// [`bench_sweep`] with an explicit metrics switch; `collect_metrics:
+/// false` is the uninstrumented baseline of the overhead measurement
+/// (EXPERIMENTS.md §observability).
+pub fn bench_sweep_opts(worker_counts: &[usize], collect_metrics: bool) -> Vec<SweepBenchRow> {
     let days = bench_days();
     worker_counts
         .iter()
         .map(|&workers| {
             let mut world = World::new(WorldConfig::tiny());
-            let mut scanner = OpenIntelScanner::new(&world);
-            scanner.set_workers(workers);
+            let mut scanner = OpenIntelScanner::with_options(
+                &world,
+                SweepOptions::new()
+                    .workers(workers)
+                    .collect_metrics(collect_metrics),
+            );
             let mut wall = 0.0f64;
             let mut queries = 0u64;
             let mut hits = 0u64;
@@ -114,6 +128,39 @@ pub fn bench_sweep(worker_counts: &[usize]) -> Vec<SweepBenchRow> {
             }
         })
         .collect()
+}
+
+/// Sweep the bench fixture's `$RUWHERE_BENCH_DAYS` days once with metrics
+/// on and return the run-level merged metric section plus the day count.
+///
+/// The merge is the same associative fold the sweep engine uses per
+/// worker, applied across days — so the run-level section inherits the
+/// per-sweep guarantee: identical for any worker count.
+pub fn collect_sweep_metrics(workers: usize) -> (SweepMetrics, i32) {
+    let days = bench_days();
+    let mut world = World::new(WorldConfig::tiny());
+    let mut scanner = OpenIntelScanner::with_options(&world, SweepOptions::new().workers(workers));
+    let mut merged = SweepMetrics::new();
+    for day in 0..days {
+        if day > 0 {
+            world.advance_to(world.today().succ());
+        }
+        let sweep = scanner.sweep(&mut world);
+        merged.merge(&sweep.metrics);
+    }
+    (merged, days)
+}
+
+/// Serialise the run-level metric section as the `METRICS_sweep.json`
+/// artifact. Deliberately carries NO worker count, timestamp or host
+/// information: two runs over the same fixture must produce
+/// byte-identical files regardless of parallelism, so the CI determinism
+/// gate can compare them with `cmp`.
+pub fn render_metrics_json(metrics: &SweepMetrics, days: i32) -> String {
+    let mut out = format!("{{\"bench\":\"sweep_metrics\",\"days\":{days},\"metrics\":");
+    metrics.push_json(&mut out);
+    out.push_str("}\n");
+    out
 }
 
 /// Serialise bench rows as the `BENCH_sweep.json` artifact. Hand-rolled

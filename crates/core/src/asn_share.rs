@@ -116,6 +116,7 @@ mod tests {
             date,
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         }
     }
 

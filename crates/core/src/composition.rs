@@ -299,6 +299,7 @@ mod tests {
             date,
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         }
     }
 
@@ -310,6 +311,7 @@ mod tests {
                 completeness: ruwhere_scan::Completeness::Partial,
                 ..SweepStats::default()
             },
+            metrics: Default::default(),
         }
     }
 

@@ -135,6 +135,7 @@ mod tests {
             date: Date::from_ymd(2022, 1, 1),
             domains: vec![rec("a.ru", 1, 10), rec("b.ru", 2, 10)],
             stats: SweepStats::default(),
+            metrics: Default::default(),
         });
         stats.observe(&DailySweep {
             date: Date::from_ymd(2022, 1, 2),
@@ -147,6 +148,7 @@ mod tests {
                 completeness: ruwhere_scan::Completeness::Partial,
                 ..SweepStats::default()
             },
+            metrics: Default::default(),
         });
         assert_eq!(stats.unique_domains(), 3);
         assert_eq!(stats.hosting_asns(), 3);

@@ -17,7 +17,7 @@ use crate::tld_dependency::{TldDependencySeries, TldUsageSeries};
 use crate::transitions::TransitionFlows;
 use ruwhere_registry::SanctionsList;
 use ruwhere_scan::{
-    CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner,
+    CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner, SweepOptions,
 };
 use ruwhere_types::{Date, CERT_WINDOW_END, CERT_WINDOW_START};
 use ruwhere_world::{World, WorldConfig};
@@ -178,9 +178,9 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
     let sweep_dates = cfg.sweep_dates();
     let first = sweep_dates.first().copied();
     let last = sweep_dates.last().copied();
-    let mut scanner = OpenIntelScanner::new(&world);
-    scanner.set_workers(cfg.workers);
-    let ip_scanner = IpScanner::new(&world);
+    let mut scanner =
+        OpenIntelScanner::with_options(&world, SweepOptions::new().workers(cfg.workers));
+    let mut ip_scanner = IpScanner::new(&world);
     let mut ip_scans: Vec<IpScanSnapshot> = Vec::new();
     let mut scans_pending = cfg.ip_scans.clone();
     scans_pending.sort();

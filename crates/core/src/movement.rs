@@ -183,6 +183,7 @@ mod tests {
             date: Date::from_ymd(2022, 3, 8),
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         }
     }
 

@@ -147,7 +147,7 @@ mod tests {
                     chain("bank.ru", RUSSIAN_CA_ORG, &[RUSSIAN_CA_ORG], 1),
                 ),
             ],
-            silent: 0,
+            failures: Vec::new(),
         };
         let mut sanctions = SanctionsList::new();
         sanctions.add(

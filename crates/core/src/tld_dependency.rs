@@ -166,6 +166,7 @@ mod tests {
             date,
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         }
     }
 

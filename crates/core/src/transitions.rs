@@ -174,6 +174,7 @@ mod tests {
             date,
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         }
     }
 

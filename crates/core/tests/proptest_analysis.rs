@@ -46,6 +46,7 @@ fn arb_sweep(date: Date) -> impl Strategy<Value = DailySweep> {
             date,
             domains,
             stats: SweepStats::default(),
+            metrics: Default::default(),
         })
     })
 }

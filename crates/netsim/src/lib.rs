@@ -52,12 +52,15 @@
 
 pub mod fault;
 pub mod ip;
+pub mod obs;
 pub mod routing;
 pub mod sim;
 pub mod topology;
 
 pub use fault::{FaultPlan, FaultWindow, LinkFault, ServerFault, ServerFaultMode};
 pub use ip::{IpAllocator, Ipv4Net, PrefixParseError};
+pub use obs::{LinkObs, LinkTable, NetObs};
 pub use routing::RoutingTable;
+pub use ruwhere_obs::Histogram;
 pub use sim::{Datagram, Lane, NetError, NetStats, Network, Service, SimTime, Transport};
 pub use topology::{AsInfo, Topology};

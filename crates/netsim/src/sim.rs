@@ -9,9 +9,10 @@
 //! the topology seed and a per-packet sequence number.
 
 use crate::fault::FaultPlan;
+use crate::obs::NetObs;
 use crate::topology::Topology;
 use parking_lot::RwLock;
-use ruwhere_types::SeedTree;
+use ruwhere_types::{Asn, SeedTree};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -193,6 +194,8 @@ pub struct Network {
     pub loss_rate: f64,
     faults: FaultPlan,
     stats: NetStats,
+    obs: NetObs,
+    obs_enabled: bool,
 }
 
 impl Network {
@@ -209,6 +212,8 @@ impl Network {
             loss_rate: 0.0,
             faults: FaultPlan::new(),
             stats: NetStats::default(),
+            obs: NetObs::default(),
+            obs_enabled: true,
         }
     }
 
@@ -230,6 +235,30 @@ impl Network {
     /// Transport statistics so far.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Transport observability aggregates recorded so far on the serial
+    /// engine (lanes carry their own; see [`Lane::take_obs`]).
+    pub fn obs(&self) -> &NetObs {
+        &self.obs
+    }
+
+    /// Drain the serial engine's observability aggregates.
+    pub fn take_obs(&mut self) -> NetObs {
+        self.obs.flush();
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Enable or disable observability recording (on by default). New
+    /// lanes inherit the setting; disabling lets benchmarks measure the
+    /// instrumentation's own overhead.
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs_enabled = enabled;
+    }
+
+    /// Whether observability recording is enabled.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs_enabled
     }
 
     /// The installed fault plan.
@@ -318,11 +347,14 @@ impl Network {
             })
     }
 
-    fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, packet_id: u64) -> Option<u64> {
+    /// One-way hop for packet `packet_id`: the AS pair it crosses and its
+    /// latency, `None` if either side is unrouted.
+    fn hop(&self, from: Ipv4Addr, to: Ipv4Addr, packet_id: u64) -> Option<(Asn, Asn, u64)> {
         let a = self.topo.asn_of(from)?;
         let b = self.topo.asn_of(to)?;
         let degraded = self.faults.extra_latency_us(from, to, self.now);
-        Some(self.topo.latency_us(a, b) + self.topo.jitter_us(a, b, packet_id) + degraded)
+        let lat = self.topo.latency_us(a, b) + self.topo.jitter_us(a, b, packet_id) + degraded;
+        Some((a, b, lat))
     }
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
@@ -337,12 +369,25 @@ impl Network {
     pub fn send(&mut self, dgram: Datagram) -> bool {
         let seq = self.next_seq();
         self.stats.sent += 1;
-        let Some(lat) = self.one_way_us(dgram.src.0, dgram.dst.0, seq) else {
+        let Some((a, b, lat)) = self.hop(dgram.src.0, dgram.dst.0, seq) else {
             return false;
         };
-        if self.lost(seq) || self.fault_lost(seq, dgram.src.0, dgram.dst.0) {
+        if self.lost(seq) {
             self.stats.dropped += 1;
+            if self.obs_enabled {
+                self.obs.hop_dropped(a, b, false);
+            }
             return true; // it was sent; the network ate it
+        }
+        if self.fault_lost(seq, dgram.src.0, dgram.dst.0) {
+            self.stats.dropped += 1;
+            if self.obs_enabled {
+                self.obs.hop_dropped(a, b, true);
+            }
+            return true;
+        }
+        if self.obs_enabled {
+            self.obs.hop_delivered(a, b, lat);
         }
         let at = self.now.plus_us(lat);
         self.schedule(at, Event::Deliver(dgram));
@@ -378,6 +423,9 @@ impl Network {
         // crossed the network (latency was paid) but nothing answers.
         if self.faults.server_down(key.0, key.1, self.now) {
             self.stats.faulted += 1;
+            if self.obs_enabled {
+                self.obs.fault_blackholes += 1;
+            }
             return;
         }
         let Some(cell) = self.services.get(&key) else {
@@ -389,21 +437,37 @@ impl Network {
         if let Some(payload) = reply {
             let seq = self.next_seq();
             self.stats.sent += 1;
-            if self.lost(seq) || self.fault_lost(seq, dgram.dst.0, dgram.src.0) {
+            // Loss/jitter draws are pure functions of `seq`, so looking the
+            // hop up first (for the link key) cannot perturb them.
+            let Some((a, b, lat)) = self.hop(dgram.dst.0, dgram.src.0, seq) else {
+                return;
+            };
+            if self.lost(seq) {
                 self.stats.dropped += 1;
+                if self.obs_enabled {
+                    self.obs.hop_dropped(a, b, false);
+                }
                 return;
             }
-            if let Some(lat) = self.one_way_us(dgram.dst.0, dgram.src.0, seq) {
-                let at = self.now.plus_us(proc + lat);
-                self.schedule(
-                    at,
-                    Event::Deliver(Datagram {
-                        src: dgram.dst,
-                        dst: dgram.src,
-                        payload,
-                    }),
-                );
+            if self.fault_lost(seq, dgram.dst.0, dgram.src.0) {
+                self.stats.dropped += 1;
+                if self.obs_enabled {
+                    self.obs.hop_dropped(a, b, true);
+                }
+                return;
             }
+            if self.obs_enabled {
+                self.obs.hop_delivered(a, b, lat);
+            }
+            let at = self.now.plus_us(proc + lat);
+            self.schedule(
+                at,
+                Event::Deliver(Datagram {
+                    src: dgram.dst,
+                    dst: dgram.src,
+                    payload,
+                }),
+            );
         }
     }
 
@@ -423,7 +487,13 @@ impl Network {
         if self.topo.asn_of(src_ip).is_none() {
             return Err(NetError::NoRoute);
         }
+        let t0 = self.now;
         for attempt in 0..attempts.max(1) {
+            // Fault-window occupancy: was the destination inside an active
+            // server-fault window when this attempt was issued?
+            let faulted_at_send = self.obs_enabled
+                && !self.faults.is_empty()
+                && self.faults.server_down(dst.0, dst.1, self.now);
             // Fresh ephemeral port per attempt so a late reply to an earlier
             // attempt is not mistaken for this one.
             let port = 49152 + ((self.seq.wrapping_add(u64::from(attempt))) % 16384) as u16;
@@ -435,7 +505,15 @@ impl Network {
             });
             let deadline = self.now.plus_us(timeout_us);
             if let Some(reply) = self.run_until(deadline, me) {
+                if self.obs_enabled {
+                    self.obs
+                        .request_us
+                        .record(self.now.as_micros() - t0.as_micros());
+                }
                 return Ok(reply);
+            }
+            if faulted_at_send {
+                self.obs.fault_occupied_us += timeout_us;
             }
         }
         Err(NetError::Timeout)
@@ -459,12 +537,20 @@ impl Network {
             now: start,
             seq: 0,
             stats: NetStats::default(),
+            obs: NetObs::default(),
+            obs_on: self.obs_enabled,
         }
     }
 
     /// Merge a finished lane's transport counters into the global ones.
     pub fn absorb_lane_stats(&mut self, stats: NetStats) {
         self.stats.merge(stats);
+    }
+
+    /// Merge a finished lane's observability aggregates into the global
+    /// ones.
+    pub fn absorb_lane_obs(&mut self, obs: &NetObs) {
+        self.obs.merge(obs);
     }
 
     /// Advance the global clock to `t` (no-op if `t` is in the past),
@@ -531,6 +617,8 @@ pub struct Lane<'a> {
     now: SimTime,
     seq: u64,
     stats: NetStats,
+    obs: NetObs,
+    obs_on: bool,
 }
 
 impl Lane<'_> {
@@ -550,6 +638,28 @@ impl Lane<'_> {
         self.stats
     }
 
+    /// Observability aggregates accumulated on this lane.
+    pub fn obs(&self) -> &NetObs {
+        &self.obs
+    }
+
+    /// Drain this lane's observability aggregates (merge them into a
+    /// per-worker total, and/or back into the network with
+    /// [`Network::absorb_lane_obs`]).
+    pub fn take_obs(&mut self) -> NetObs {
+        self.obs.flush();
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Hand an already-populated aggregate to this lane to keep recording
+    /// into. Paired with [`take_obs`](Lane::take_obs) this threads one
+    /// accumulator through a sequence of short-lived lanes instead of
+    /// allocating (and merging) fresh histograms per lane — every record
+    /// is a commutative integer fold, so totals are identical either way.
+    pub fn install_obs(&mut self, obs: NetObs) {
+        self.obs = obs;
+    }
+
     /// Deterministic Bernoulli draw for this lane's packet `seq` against
     /// probability `p`.
     fn bernoulli(&self, label: &str, seq: u64, p: f64) -> bool {
@@ -561,13 +671,11 @@ impl Lane<'_> {
         u < p
     }
 
-    /// Whether packet `seq` on the path `a`→`b` is lost (uniform loss or an
-    /// active link fault), mirroring the serial engine's two processes but
-    /// keyed by the lane stream.
-    fn lost(&self, seq: u64, a: Ipv4Addr, b: Ipv4Addr, at: SimTime) -> bool {
-        if self.bernoulli("loss", seq, self.net.loss_rate) {
-            return true;
-        }
+    /// Whether packet `seq` on the path `a`→`b` is eaten by an active link
+    /// fault's extra-loss process (the uniform loss process is a separate
+    /// [`bernoulli`](Lane::bernoulli) draw, so drops can be attributed to
+    /// their cause).
+    fn fault_lost(&self, seq: u64, a: Ipv4Addr, b: Ipv4Addr, at: SimTime) -> bool {
         if self.net.faults.is_empty() {
             return false;
         }
@@ -582,14 +690,105 @@ impl Lane<'_> {
         })
     }
 
-    /// One-way latency for this lane's packet `seq`, `None` if either side
-    /// is unrouted.
-    fn one_way_us(&self, from: Ipv4Addr, to: Ipv4Addr, seq: u64) -> Option<u64> {
+    /// One-way hop for this lane's packet `seq`: the AS pair it crosses and
+    /// its latency, `None` if either side is unrouted.
+    fn hop(&self, from: Ipv4Addr, to: Ipv4Addr, seq: u64) -> Option<(Asn, Asn, u64)> {
         let a = self.net.topo.asn_of(from)?;
         let b = self.net.topo.asn_of(to)?;
         let packet_id = self.stream.child("pkt").child_idx(seq).seed();
         let degraded = self.net.faults.extra_latency_us(from, to, self.now);
-        Some(self.net.topo.latency_us(a, b) + self.net.topo.jitter_us(a, b, packet_id) + degraded)
+        let lat =
+            self.net.topo.latency_us(a, b) + self.net.topo.jitter_us(a, b, packet_id) + degraded;
+        Some((a, b, lat))
+    }
+
+    /// One request attempt against `dst`. On success advances the lane
+    /// clock to the reply's arrival and returns the payload; on failure
+    /// leaves the clock untouched (the caller burns the attempt timeout).
+    fn attempt_once(
+        &mut self,
+        src_ip: Ipv4Addr,
+        dst: (Ipv4Addr, u16),
+        payload: &[u8],
+        deadline: SimTime,
+    ) -> Option<Vec<u8>> {
+        self.seq += 1;
+        let out_seq = self.seq;
+        self.stats.sent += 1;
+        let src = (src_ip, 49152 + (out_seq % 16384) as u16);
+        // Unrouted destination: nothing is scheduled; the attempt waits out
+        // its timeout, as in the serial engine.
+        let (a, b, lat) = self.hop(src_ip, dst.0, out_seq)?;
+        if self.bernoulli("loss", out_seq, self.net.loss_rate) {
+            self.stats.dropped += 1;
+            if self.obs_on {
+                self.obs.hop_dropped(a, b, false);
+            }
+            return None;
+        }
+        if self.fault_lost(out_seq, src_ip, dst.0, self.now) {
+            self.stats.dropped += 1;
+            if self.obs_on {
+                self.obs.hop_dropped(a, b, true);
+            }
+            return None;
+        }
+        if self.obs_on {
+            self.obs.hop_delivered(a, b, lat);
+        }
+        let at = self.now.plus_us(lat);
+        if at > deadline {
+            return None;
+        }
+        // Arrival at the box: faults first, then the service.
+        if self.net.faults.server_down(dst.0, dst.1, at) {
+            self.stats.faulted += 1;
+            if self.obs_on {
+                self.obs.fault_blackholes += 1;
+            }
+            return None;
+        }
+        let cell = self.net.services.get(&dst);
+        let Some(cell) = cell else {
+            self.stats.unreachable += 1;
+            return None;
+        };
+        let (reply, proc) = dispatch(cell, payload, src, at);
+        self.stats.delivered += 1;
+        // Silent server: wait out the timeout.
+        let reply = reply?;
+        // The reply datagram pays its own loss draw and latency. Draws are
+        // pure functions of the sequence number, so looking the hop up
+        // first (for the link key) cannot perturb them.
+        self.seq += 1;
+        let back_seq = self.seq;
+        self.stats.sent += 1;
+        let (ra, rb, back_lat) = self.hop(dst.0, src_ip, back_seq)?;
+        if self.bernoulli("loss", back_seq, self.net.loss_rate) {
+            self.stats.dropped += 1;
+            if self.obs_on {
+                self.obs.hop_dropped(ra, rb, false);
+            }
+            return None;
+        }
+        if self.fault_lost(back_seq, dst.0, src_ip, at) {
+            self.stats.dropped += 1;
+            if self.obs_on {
+                self.obs.hop_dropped(ra, rb, true);
+            }
+            return None;
+        }
+        if self.obs_on {
+            self.obs.hop_delivered(ra, rb, back_lat);
+        }
+        let back_at = at.plus_us(proc + back_lat);
+        if back_at > deadline {
+            // Too late: counts as this attempt's timeout.
+            return None;
+        }
+        self.now = back_at;
+        self.stats.delivered += 1;
+        Some(reply)
     }
 }
 
@@ -609,68 +808,26 @@ impl Transport for Lane<'_> {
         if self.net.topo.asn_of(src_ip).is_none() {
             return Err(NetError::NoRoute);
         }
+        let t0 = self.now;
         for _attempt in 0..attempts.max(1) {
             let deadline = self.now.plus_us(timeout_us);
-            self.seq += 1;
-            let out_seq = self.seq;
-            self.stats.sent += 1;
-            let src = (src_ip, 49152 + (out_seq % 16384) as u16);
-            let Some(lat) = self.one_way_us(src_ip, dst.0, out_seq) else {
-                // Unrouted destination: nothing is scheduled; the attempt
-                // waits out its timeout, as in the serial engine.
-                self.now = deadline;
-                continue;
-            };
-            if self.lost(out_seq, src_ip, dst.0, self.now) {
-                self.stats.dropped += 1;
-                self.now = deadline;
-                continue;
+            // Fault-window occupancy: was the destination inside an active
+            // server-fault window when this attempt was issued?
+            let faulted_at_send = self.obs_on
+                && !self.net.faults.is_empty()
+                && self.net.faults.server_down(dst.0, dst.1, self.now);
+            if let Some(reply) = self.attempt_once(src_ip, dst, payload, deadline) {
+                if self.obs_on {
+                    self.obs
+                        .request_us
+                        .record(self.now.as_micros() - t0.as_micros());
+                }
+                return Ok(reply);
             }
-            let at = self.now.plus_us(lat);
-            if at > deadline {
-                self.now = deadline;
-                continue;
+            self.now = deadline;
+            if faulted_at_send {
+                self.obs.fault_occupied_us += timeout_us;
             }
-            // Arrival at the box: faults first, then the service.
-            if self.net.faults.server_down(dst.0, dst.1, at) {
-                self.stats.faulted += 1;
-                self.now = deadline;
-                continue;
-            }
-            let Some(cell) = self.net.services.get(&dst) else {
-                self.stats.unreachable += 1;
-                self.now = deadline;
-                continue;
-            };
-            let (reply, proc) = dispatch(cell, payload, src, at);
-            self.stats.delivered += 1;
-            let Some(reply) = reply else {
-                // Silent server: wait out the timeout.
-                self.now = deadline;
-                continue;
-            };
-            // The reply datagram pays its own loss draw and latency.
-            self.seq += 1;
-            let back_seq = self.seq;
-            self.stats.sent += 1;
-            if self.lost(back_seq, dst.0, src_ip, at) {
-                self.stats.dropped += 1;
-                self.now = deadline;
-                continue;
-            }
-            let Some(back_lat) = self.one_way_us(dst.0, src_ip, back_seq) else {
-                self.now = deadline;
-                continue;
-            };
-            let back_at = at.plus_us(proc + back_lat);
-            if back_at > deadline {
-                // Too late: counts as this attempt's timeout.
-                self.now = deadline;
-                continue;
-            }
-            self.now = back_at;
-            self.stats.delivered += 1;
-            return Ok(reply);
         }
         Err(NetError::Timeout)
     }

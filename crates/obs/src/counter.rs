@@ -1,0 +1,87 @@
+//! Lock-free monotone counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free monotone event counter.
+///
+/// Intended for state genuinely shared across sweep workers (for example
+/// the cross-worker NS-dependency cache): increments are relaxed atomic
+/// adds, so contention never serializes the hot path. Because addition is
+/// commutative, the final value is independent of interleaving — the
+/// determinism contract cares about *totals*, and totals are exact.
+///
+/// Where a `&mut` path exists, prefer a plain `u64` field; `Counter` is
+/// for the `&self` surfaces.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (e.g. at the start of a sweep).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Counter {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+impl PartialEq for Counter {
+    fn eq(&self, other: &Counter) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Eq for Counter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_across_threads() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.incr();
+                }
+                c.add(5);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4 * 1005);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

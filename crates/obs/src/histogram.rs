@@ -1,0 +1,329 @@
+//! Log-linear `u64` histograms with deterministic bucket boundaries.
+
+/// Number of linear sub-buckets per power-of-two tier (and the width of
+/// the initial exact range). Must be a power of two.
+const SUBS: u64 = 16;
+/// `log2(SUBS)`.
+const SUB_BITS: u32 = 4;
+
+/// A log-linear histogram of `u64` values (HDR-histogram style).
+///
+/// Values `0..16` land in exact unit buckets; above that, each
+/// power-of-two tier `[2^t, 2^{t+1})` is split into 16 linear sub-buckets,
+/// bounding relative error at 1/16 (6.25%). Bucket boundaries are a pure
+/// function of the value, so two histograms fed the same multiset of
+/// values — in any order, on any machine — are structurally identical.
+///
+/// [`merge`](Histogram::merge) is element-wise `u64` addition of bucket
+/// counts plus min/max/sum folds: commutative and associative, which is
+/// what makes per-worker histograms safe to combine in any shard order.
+///
+/// The bucket vector grows on demand to `bucket_index(max recorded) + 1`
+/// and never shrinks, so equality of recorded multisets implies equality
+/// of the backing vectors and the derived `Eq` is semantic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value. Total order preserving across bucket
+/// boundaries: `a <= b` implies `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let tier = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+        let sub = ((v >> (tier as u32 - SUB_BITS)) & (SUBS - 1)) as usize;
+        (tier - SUB_BITS as usize + 1) * SUBS as usize + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket (the smallest value that maps to it).
+fn bucket_lo(idx: usize) -> u64 {
+    let subs = SUBS as usize;
+    if idx < subs {
+        idx as u64
+    } else {
+        let tier = idx / subs - 1 + SUB_BITS as usize;
+        let sub = (idx % subs) as u64;
+        (SUBS + sub) << (tier as u32 - SUB_BITS)
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `v`.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum += v * n;
+    }
+
+    /// Fold another histogram in. Element-wise bucket addition plus
+    /// min/max/sum folds — commutative and associative, so any merge tree
+    /// over the same leaf histograms yields an identical result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at quantile `q` (in per-mille, 0..=1000): the lower bound
+    /// of the first bucket whose cumulative count reaches `q`/1000 of the
+    /// total. Integer arithmetic throughout — no float rounding can make
+    /// two structurally equal histograms disagree. Returns 0 when empty.
+    pub fn quantile_permille(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Ceiling of count*q/1000, clamped to at least 1 observation.
+        let target = ((self.count as u128 * q as u128).div_ceil(1000) as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_lo(idx).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_lo(idx), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_sixteen() {
+        for v in 0..SUBS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lo(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_monotone() {
+        // Every bucket's lower bound maps back to that bucket, and the
+        // index function is monotone across five decades of values.
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            255,
+            256,
+            1000,
+            4095,
+            4096,
+            65535,
+            65536,
+            1_000_000,
+            120_000_000,
+            u64::MAX / 2,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "monotone violated at {v}");
+            prev = idx;
+            let lo = bucket_lo(idx);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            assert_eq!(bucket_index(lo), idx, "round trip at {v}");
+            // Relative error of the bucket floor is bounded by 1/16.
+            if v >= SUBS {
+                assert!(v - lo <= v / SUBS, "error too large at {v}: lo {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_boundary_in_first_tiers_round_trips() {
+        // Exhaustive check across the first few tiers: indices are dense
+        // (no holes) and each lower bound is the first value of its bucket.
+        let mut expected = 0usize;
+        let mut v = 0u64;
+        while v < 4096 {
+            let idx = bucket_index(v);
+            if idx == expected {
+                assert_eq!(bucket_lo(idx), v, "bucket {idx} floor");
+                expected += 1;
+            } else {
+                assert_eq!(idx, expected - 1, "hole before value {v}");
+            }
+            v += 1;
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let series: [&[u64]; 3] = [&[1, 5, 900, 16], &[17, 17, 120_000], &[3, 1_000_000, 31]];
+        let hist = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let [a, b, c] = [hist(series[0]), hist(series[1]), hist(series[2])];
+
+        // (a+b)+c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a+(b+c)
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right2 = a.clone();
+        right2.merge(&right);
+        // c+a+b (commuted)
+        let mut comm = c.clone();
+        comm.merge(&a);
+        comm.merge(&b);
+
+        assert_eq!(left, right2);
+        assert_eq!(left, comm);
+        // And equals the single-pass histogram over the concatenation.
+        let mut all: Vec<u64> = Vec::new();
+        for s in series {
+            all.extend_from_slice(s);
+        }
+        assert_eq!(left, hist(&all));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn stats_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.sum(), (1..=100u64).map(|v| v * 1000).sum::<u64>());
+        let p50 = h.quantile_permille(500);
+        // 6.25% bucket floors: p50 must land within one bucket of 50_000.
+        assert!((46_000..=50_000).contains(&p50), "p50 {p50}");
+        let p100 = h.quantile_permille(1000);
+        assert!((93_000..=100_000).contains(&p100), "p100 {p100}");
+        assert_eq!(Histogram::new().quantile_permille(500), 0);
+    }
+
+    #[test]
+    fn equal_multisets_give_equal_vectors() {
+        // Recording the same values in different orders must yield
+        // derived-Eq equality (backing vectors included).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [9u64, 100_000, 17, 0, 255] {
+            a.record(v);
+        }
+        for v in [255u64, 0, 17, 100_000, 9] {
+            b.record(v);
+        }
+        assert_eq!(a, b);
+    }
+}

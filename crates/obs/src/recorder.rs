@@ -1,0 +1,143 @@
+//! Span-scoped, associatively-mergeable metric recorders.
+
+use std::collections::BTreeMap;
+
+use crate::Histogram;
+
+/// A named bag of counters and histograms owned by one worker (or one
+/// subsystem) and merged associatively after the fan-in.
+///
+/// Keys are `&'static str` metric names — the vocabulary is fixed at
+/// compile time, which keeps the hot path allocation-free and the merged
+/// key set identical across worker counts. Storage is `BTreeMap`, so
+/// iteration (and therefore JSON export) is in deterministic key order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recorder {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Recorder {
+    /// A fresh empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Add one to counter `key`.
+    #[inline]
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Add `n` to counter `key`.
+    #[inline]
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Record `v` into histogram `key`.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, v: u64) {
+        self.histograms.entry(key).or_default().record(v);
+    }
+
+    /// Open a span at virtual time `start_us`; close it with
+    /// [`Span::end`] to record the elapsed virtual time.
+    pub fn span(start_us: u64) -> Span {
+        Span { start_us }
+    }
+
+    /// Current value of counter `key` (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Histogram `key`, if anything was recorded under it.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another recorder in: counters add, histograms merge. Both
+    /// operations are commutative and associative, so any merge order over
+    /// per-worker recorders produces an identical result.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+}
+
+/// An open span over virtual time. Created by [`Recorder::span`].
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    start_us: u64,
+}
+
+impl Span {
+    /// Close the span at virtual time `now_us`, recording the elapsed
+    /// virtual microseconds into histogram `key` of `rec`.
+    pub fn end(self, rec: &mut Recorder, key: &'static str, now_us: u64) {
+        rec.record(key, now_us.saturating_sub(self.start_us));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_matches_single_recorder() {
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        let mut whole = Recorder::new();
+        for (rec, vals) in [(&mut a, [5u64, 80]), (&mut b, [17, 2])] {
+            for v in vals {
+                rec.incr("events");
+                rec.record("latency_us", v);
+                whole.incr("events");
+                whole.record("latency_us", v);
+            }
+        }
+        let mut merged = Recorder::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // Commuted merge order gives the identical result.
+        let mut swapped = Recorder::new();
+        swapped.merge(&b);
+        swapped.merge(&a);
+        assert_eq!(swapped, whole);
+        assert_eq!(merged.counter("events"), 4);
+        assert_eq!(merged.histogram("latency_us").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn span_records_elapsed_virtual_time() {
+        let mut rec = Recorder::new();
+        let span = Recorder::span(1_000);
+        span.end(&mut rec, "op_us", 4_500);
+        assert_eq!(rec.histogram("op_us").unwrap().sum(), 3_500);
+        // Clock can't run backwards, but a span must not panic if handed
+        // a stale close time.
+        Recorder::span(10).end(&mut rec, "op_us", 5);
+        assert_eq!(rec.histogram("op_us").unwrap().count(), 2);
+    }
+}

@@ -1,5 +1,7 @@
 //! Censys-style certificate datasets: CT-log indexing and IP-wide scans.
 
+use crate::error::ScanError;
+use crate::scanner::Scanner;
 use ruwhere_ct::CtLog;
 use ruwhere_types::{Date, DomainName};
 use ruwhere_world::{ChainSummary, World, TLS_PORT};
@@ -99,14 +101,36 @@ pub struct IpScanSnapshot {
     pub date: Date,
     /// Responding endpoints with the chains they presented.
     pub endpoints: Vec<(Ipv4Addr, ChainSummary)>,
-    /// Probes that got no TLS response.
-    pub silent: u64,
+    /// Probes that yielded no usable chain, each with its failure cause.
+    /// The old scanner folded everything into one `silent` counter; a
+    /// timeout (the box is gone) and an unparsable banner (the box
+    /// answered garbage) are different findings — see
+    /// [`IpScanSnapshot::silent`] for the legacy aggregate.
+    pub failures: Vec<(Ipv4Addr, ScanError)>,
+}
+
+impl IpScanSnapshot {
+    /// Probes that got no usable TLS response (all causes) — the legacy
+    /// `silent` aggregate.
+    pub fn silent(&self) -> u64 {
+        self.failures.len() as u64
+    }
+
+    /// Failures of one cause category
+    /// (see [`ScanError::category`]).
+    pub fn failures_by_cause(&self, category: &str) -> u64 {
+        self.failures
+            .iter()
+            .filter(|(_, e)| e.category() == category)
+            .count() as u64
+    }
 }
 
 /// The Censys Universal Internet Data Set stand-in: probe every responding
 /// TLS endpoint and record the presented chain.
 pub struct IpScanner {
     src: Ipv4Addr,
+    probes_sent: u64,
 }
 
 impl IpScanner {
@@ -114,16 +138,27 @@ impl IpScanner {
     pub fn new(world: &World) -> Self {
         IpScanner {
             src: world.scanner_ip(),
+            probes_sent: 0,
         }
     }
 
+    /// Probes sent since construction, summed over all scans.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
     /// Probe all TLS endpoints at the world's current date.
-    pub fn scan(&self, world: &mut World) -> IpScanSnapshot {
+    ///
+    /// Takes `&mut self` — scanners accumulate run-to-run state (the
+    /// probe total), and the unified [`Scanner`] contract gives every
+    /// pipeline the same shape.
+    pub fn scan(&mut self, world: &mut World) -> IpScanSnapshot {
         let date = world.today();
         let targets = world.network().bound_endpoints(TLS_PORT);
         let mut endpoints = Vec::new();
-        let mut silent = 0;
+        let mut failures = Vec::new();
         for addr in targets {
+            self.probes_sent += 1;
             match world.network_mut().request(
                 self.src,
                 (addr, TLS_PORT),
@@ -133,16 +168,28 @@ impl IpScanner {
             ) {
                 Ok(banner) => match ChainSummary::from_banner(&banner) {
                     Some(chain) => endpoints.push((addr, chain)),
-                    None => silent += 1,
+                    None => failures.push((
+                        addr,
+                        ScanError::BadPayload("unparsable TLS banner".to_owned()),
+                    )),
                 },
-                Err(_) => silent += 1,
+                Err(e) => failures.push((addr, ScanError::from(e))),
             }
         }
         IpScanSnapshot {
             date,
             endpoints,
-            silent,
+            failures,
         }
+    }
+}
+
+impl Scanner for IpScanner {
+    type Snapshot = IpScanSnapshot;
+
+    /// One IP-wide TLS scan — [`IpScanner::scan`].
+    fn run(&mut self, world: &mut World) -> IpScanSnapshot {
+        self.scan(world)
     }
 }
 
@@ -197,9 +244,13 @@ mod tests {
     fn ip_scan_sees_served_chains_including_russian_ca() {
         let mut world = World::new(WorldConfig::tiny());
         world.advance_to(Date::from_ymd(2022, 4, 20));
-        let scanner = IpScanner::new(&world);
+        let mut scanner = IpScanner::new(&world);
         let snap = scanner.scan(&mut world);
         assert!(!snap.endpoints.is_empty(), "no TLS endpoints responded");
+        assert_eq!(
+            scanner.probes_sent(),
+            snap.endpoints.len() as u64 + snap.silent()
+        );
 
         // The scan must see Russian Trusted Root CA chains that CT lacks.
         let russian_served = snap

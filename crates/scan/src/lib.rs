@@ -12,22 +12,35 @@
 //!
 //! Both scanners observe the world exclusively through the network and
 //! public datasets; neither reads simulation ground truth.
+//!
+//! All pipelines share one failure vocabulary ([`ScanError`], variants
+//! aligned with the per-cause counters of [`SweepStats`]) and one run
+//! shape (the [`Scanner`] trait: `&mut self`, typed snapshot out). The
+//! daily sweep additionally embeds a deterministic observability section
+//! ([`SweepMetrics`]) that is byte-identical for any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod censys;
+pub mod error;
+pub mod metrics;
 pub mod nscache;
 pub mod openintel;
+pub mod scanner;
 pub mod shard;
 pub mod whois;
 pub mod xfr;
 
 pub use censys::{CertDataset, CertRecord, IpScanSnapshot, IpScanner, MatchRule};
+pub use error::ScanError;
+pub use metrics::SweepMetrics;
 pub use nscache::NsCache;
 pub use openintel::{
-    available_workers, AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner, SweepStats,
+    available_workers, AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner,
+    SweepOptions, SweepStats, WORKERS_ENV,
 };
+pub use scanner::Scanner;
 pub use shard::ShardPlan;
 pub use whois::{ArrivalClassification, WhoisClient};
-pub use xfr::{XfrError, ZoneTransferClient};
+pub use xfr::ZoneTransferClient;

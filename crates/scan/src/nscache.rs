@@ -25,7 +25,8 @@
 //! semantics), so yesterday's addresses must never satisfy today's sweep.
 
 use parking_lot::Mutex;
-use ruwhere_netsim::NetStats;
+use ruwhere_netsim::{NetObs, NetStats};
+use ruwhere_obs::Counter;
 use ruwhere_types::{Date, DomainName};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -38,7 +39,7 @@ const SHARDS: usize = 16;
 
 /// The measurement cost of computing one cache entry, charged to the
 /// worker that computed it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LookupCost {
     /// Queries the entry's resolution spent.
     pub queries: u64,
@@ -56,6 +57,14 @@ pub struct LookupCost {
     pub net: NetStats,
     /// The lane's end instant in microseconds (for sweep wall-clock).
     pub lane_end_us: u64,
+    /// Transport observability of the entry's lane (empty when metric
+    /// collection is off). Charged into the sweep's
+    /// [`SweepMetrics`](crate::SweepMetrics) exactly once, alongside the
+    /// scalar cost.
+    pub net_obs: NetObs,
+    /// Resolver observability of the entry's fork (empty when metric
+    /// collection is off).
+    pub resolver_obs: ruwhere_authdns::ResolverObs,
 }
 
 /// One computed entry: the resolved addresses (sorted, deduplicated).
@@ -84,6 +93,14 @@ pub struct CacheHit {
 pub struct NsCache {
     date: Option<Date>,
     shards: Vec<Mutex<HashMap<DomainName, Arc<Entry>>>>,
+    /// Lock-free sweep-scoped hit counter, bumped by whichever worker
+    /// thread hits — a live progress diagnostic that needs no lane or
+    /// tally plumbing. The authoritative (worker-count-independent)
+    /// counts remain the per-worker tallies merged into
+    /// [`SweepStats`](crate::SweepStats).
+    hits: Counter,
+    /// Lock-free sweep-scoped miss (= compute) counter.
+    misses: Counter,
 }
 
 impl NsCache {
@@ -92,13 +109,16 @@ impl NsCache {
         NsCache {
             date: None,
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
     /// Bind the cache to a sweep date, clearing every entry if the date
-    /// differs from the previous sweep's. Must be called before workers
-    /// start; the borrow rules enforce it (`&mut self` here, `&self` from
-    /// workers).
+    /// differs from the previous sweep's, and zeroing the hit/miss
+    /// counters (they are per-sweep diagnostics). Must be called before
+    /// workers start; the borrow rules enforce it (`&mut self` here,
+    /// `&self` from workers).
     pub fn begin_sweep(&mut self, date: Date) {
         if self.date != Some(date) {
             for shard in &self.shards {
@@ -106,6 +126,19 @@ impl NsCache {
             }
             self.date = Some(date);
         }
+        self.hits.reset();
+        self.misses.reset();
+    }
+
+    /// Lookups served from cache since [`begin_sweep`](Self::begin_sweep).
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that computed an entry since
+    /// [`begin_sweep`](Self::begin_sweep).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// The date the cache currently serves, if any.
@@ -148,6 +181,7 @@ impl NsCache {
         // (potentially long) resolution below.
         let mut slot = entry.slot.lock();
         if let Some(v) = slot.as_ref() {
+            self.hits.incr();
             return CacheHit {
                 ips: v.ips.clone(),
                 computed: None,
@@ -155,6 +189,7 @@ impl NsCache {
         }
         let (ips, cost) = compute();
         *slot = Some(CacheValue { ips: ips.clone() });
+        self.misses.incr();
         CacheHit {
             ips,
             computed: Some(cost),
@@ -205,6 +240,20 @@ mod tests {
             cache.get_or_compute(&name("ns1.hoster.ru"), || panic!("cached entry recomputed"));
         assert_eq!(second.ips, vec![ip(1)]);
         assert!(second.computed.is_none(), "second lookup must hit");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn counters_reset_per_sweep() {
+        let mut cache = NsCache::new();
+        cache.begin_sweep(Date::from_ymd(2022, 3, 1));
+        cache.get_or_compute(&name("ns1.hoster.ru"), || {
+            (vec![ip(1)], LookupCost::default())
+        });
+        cache.get_or_compute(&name("ns1.hoster.ru"), || panic!("cached"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.begin_sweep(Date::from_ymd(2022, 3, 2));
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
 
     #[test]

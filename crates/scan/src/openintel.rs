@@ -43,13 +43,17 @@
 //! classification runs post-merge on the merged counters, and the
 //! network's global clock advances to the deterministic maximum lane end.
 
+use crate::error::ScanError;
+use crate::metrics::{fail_key, keys, SweepMetrics};
 use crate::nscache::{LookupCost, NsCache};
+use crate::scanner::Scanner;
 use crate::shard::ShardPlan;
 use ruwhere_authdns::{
     IterativeResolver, NoDependencyCache, NsDependencyCache, Resolution, ResolveError,
 };
 use ruwhere_dns::{Name, RType};
 use ruwhere_netsim::{NetStats, Network, SimTime};
+use ruwhere_obs::Recorder;
 use ruwhere_types::{Asn, Country, Date, DomainName};
 use ruwhere_world::World;
 use serde::{Deserialize, Serialize};
@@ -150,6 +154,11 @@ pub struct DailySweep {
     pub domains: Vec<DomainDay>,
     /// Counters.
     pub stats: SweepStats,
+    /// The sweep's observability section: per-cause latency histograms,
+    /// transport and resolver aggregates. Empty when the scanner ran with
+    /// [`SweepOptions::collect_metrics`]`(false)`; byte-identical for any
+    /// worker count otherwise (same contract as `stats`).
+    pub metrics: SweepMetrics,
 }
 
 impl DailySweep {
@@ -159,11 +168,83 @@ impl DailySweep {
     }
 }
 
-/// Default worker count: the machine's available parallelism.
+/// Environment variable overriding the default sweep worker count.
+pub const WORKERS_ENV: &str = "RUWHERE_WORKERS";
+
+/// Default worker count.
+///
+/// Precedence (documented in DESIGN.md §9): an explicit
+/// [`SweepOptions::workers`] call beats everything; absent that, a
+/// positive integer in `RUWHERE_WORKERS` beats the machine's available
+/// parallelism; a missing or unparsable variable falls through to
+/// `available_parallelism` (or 1 if even that is unknown). Output is
+/// byte-identical for every value — the knob trades wall-clock time only.
 pub fn available_workers() -> usize {
+    if let Some(n) = std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Sweep-engine configuration, built fluently and handed to
+/// [`OpenIntelScanner::with_options`].
+///
+/// Replaces the old `set_workers` / `set_partial_threshold` mutators: a
+/// scanner's configuration is fixed at construction, so a long-lived
+/// scanner cannot change semantics between sweeps of one experiment.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    workers: usize,
+    partial_threshold: f64,
+    collect_metrics: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions::new()
+    }
+}
+
+impl SweepOptions {
+    /// Defaults: [`available_workers`] workers (which honors
+    /// `RUWHERE_WORKERS`), a 0.5 salvage threshold, metrics on.
+    pub fn new() -> Self {
+        SweepOptions {
+            workers: available_workers(),
+            partial_threshold: 0.5,
+            collect_metrics: true,
+        }
+    }
+
+    /// Set the worker count (clamped to at least one). Takes precedence
+    /// over the `RUWHERE_WORKERS` environment override.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the partial-sweep salvage threshold (fraction of seeded
+    /// domains whose NS resolution must fail before the day is marked
+    /// [`Completeness::Partial`]; clamped to `[0, 1]`).
+    pub fn partial_threshold(mut self, threshold: f64) -> Self {
+        self.partial_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable or disable metric collection. Disabling empties
+    /// [`DailySweep::metrics`] and skips every instrumentation branch in
+    /// the network engine and resolver — the uninstrumented baseline of
+    /// the overhead benchmark.
+    pub fn collect_metrics(mut self, on: bool) -> Self {
+        self.collect_metrics = on;
+        self
+    }
 }
 
 /// Raw (pre-annotation) resolution output for one domain.
@@ -220,31 +301,45 @@ impl Tally {
     }
 }
 
+/// Shared, immutable per-sweep context handed to every worker: the
+/// network snapshot, the warmup-primed prototype resolver, the shared NS
+/// cache, the sweep date and the metric-collection switch.
+struct SweepCtx<'a> {
+    net: &'a Network,
+    primed: &'a IterativeResolver,
+    cache: &'a NsCache,
+    date: Date,
+    collect: bool,
+}
+
 /// The sweep's [`NsDependencyCache`] implementation: routes the
 /// resolver's internal out-of-bailiwick NS-target A lookups through the
 /// shared sweep cache, so each hoster name server resolves exactly once
 /// per sweep instead of once per customer domain. Costs and hit/miss
 /// counts accumulate in a per-domain cell and are folded into the
-/// worker's tally after each domain.
+/// worker's tally (and metric section) after each domain.
 struct SharedDeps<'a> {
-    net: &'a Network,
-    primed: &'a IterativeResolver,
-    cache: &'a NsCache,
-    date: Date,
-    tally: RefCell<Tally>,
+    ctx: &'a SweepCtx<'a>,
+    acc: RefCell<(Tally, SweepMetrics)>,
 }
 
 impl NsDependencyCache for SharedDeps<'_> {
     fn ns_target_a(&self, name: &Name) -> Option<Vec<Ipv4Addr>> {
         let ns = name.to_domain_name()?;
-        let hit = self.cache.get_or_compute(&ns, || {
-            resolve_ns_target(self.net, self.primed, self.date, &ns)
-        });
-        let mut tally = self.tally.borrow_mut();
+        let hit = self
+            .ctx
+            .cache
+            .get_or_compute(&ns, || resolve_ns_target(self.ctx, &ns));
+        let mut acc = self.acc.borrow_mut();
+        let (tally, metrics) = &mut *acc;
         match hit.computed {
             Some(cost) => {
                 tally.ns_cache_misses += 1;
                 tally.charge_cost(&cost);
+                if self.ctx.collect {
+                    metrics.net.merge(&cost.net_obs);
+                    metrics.resolver.merge(&cost.resolver_obs);
+                }
             }
             None => tally.ns_cache_hits += 1,
         }
@@ -287,14 +382,9 @@ fn resolve_with_retry<T: ruwhere_netsim::Transport>(
 /// Resolve one NS-target host to addresses on its own `(date, name)` lane
 /// with a fresh primed fork — a pure function of the sweep-start snapshot,
 /// so the cached value is identical no matter which worker computes it.
-fn resolve_ns_target(
-    net: &Network,
-    primed: &IterativeResolver,
-    date: Date,
-    ns: &DomainName,
-) -> (Vec<Ipv4Addr>, LookupCost) {
-    let mut lane = net.lane(&format!("ns:{date}/{ns}"));
-    let mut resolver = primed.fork();
+fn resolve_ns_target(ctx: &SweepCtx<'_>, ns: &DomainName) -> (Vec<Ipv4Addr>, LookupCost) {
+    let mut lane = ctx.net.lane(&format!("ns:{}/{}", ctx.date, ns));
+    let mut resolver = ctx.primed.fork();
     let ips = match resolve_with_retry(
         &mut resolver,
         &mut lane,
@@ -315,32 +405,41 @@ fn resolve_ns_target(
         retries_spent: causes.retries_spent,
         net: lane.stats(),
         lane_end_us: lane.now().as_micros(),
+        net_obs: lane.take_obs(),
+        resolver_obs: resolver.take_obs(),
     };
     (ips, cost)
 }
 
 /// Measure one domain: NS set, NS-target addresses (through the shared
 /// cache), apex A — all on the domain's own `(date, domain)` lane with a
-/// fresh primed fork.
+/// fresh primed fork. Failure latencies are recorded per cause into the
+/// worker's metric section; the span clock is the lane's virtual time, so
+/// the recorded values are as deterministic as the measurement itself.
 fn measure_domain(
     domain: &DomainName,
-    date: Date,
-    net: &Network,
-    primed: &IterativeResolver,
-    ns_cache: &NsCache,
+    ctx: &SweepCtx<'_>,
     tally: &mut Tally,
+    metrics: &mut SweepMetrics,
 ) -> Raw {
-    let mut lane = net.lane(&format!("{date}/{domain}"));
-    let mut resolver = primed.fork();
+    let mut lane = ctx.net.lane(&format!("{}/{}", ctx.date, domain));
+    let mut resolver = ctx.primed.fork();
+    if ctx.collect {
+        // Thread the worker's accumulators through this domain's lane and
+        // fork: records land directly in the running totals, avoiding a
+        // per-domain histogram allocation + merge. Every record is a
+        // commutative integer fold, so the totals are byte-identical to
+        // the merge-per-domain formulation.
+        lane.install_obs(std::mem::take(&mut metrics.net));
+        resolver.install_obs(std::mem::take(&mut metrics.resolver));
+    }
     let qname = Name::from(domain);
     let deps = SharedDeps {
-        net,
-        primed,
-        cache: ns_cache,
-        date,
-        tally: RefCell::new(Tally::default()),
+        ctx,
+        acc: RefCell::new((Tally::default(), SweepMetrics::default())),
     };
 
+    let ns_span = Recorder::span(lane.elapsed_us());
     let ns_names: Vec<DomainName> =
         match resolve_with_retry(&mut resolver, &mut lane, &qname, RType::Ns, &deps) {
             Ok(res) => res
@@ -348,7 +447,13 @@ fn measure_domain(
                 .iter()
                 .filter_map(|n| n.to_domain_name())
                 .collect(),
-            Err(_) => Vec::new(),
+            Err(e) => {
+                if ctx.collect {
+                    let key = fail_key(ScanError::from(e).category());
+                    ns_span.end(&mut metrics.causes, key, lane.elapsed_us());
+                }
+                Vec::new()
+            }
         };
     if ns_names.is_empty() {
         tally.ns_failures += 1;
@@ -356,11 +461,19 @@ fn measure_domain(
 
     let mut ns_ips: Vec<Ipv4Addr> = Vec::new();
     for ns in &ns_names {
-        let hit = ns_cache.get_or_compute(ns, || resolve_ns_target(net, primed, date, ns));
+        let hit = ctx.cache.get_or_compute(ns, || resolve_ns_target(ctx, ns));
         match hit.computed {
             Some(cost) => {
                 tally.ns_cache_misses += 1;
                 tally.charge_cost(&cost);
+                if ctx.collect {
+                    // `metrics.net`/`.resolver` are installed in the lane
+                    // and fork right now, so charge the cache-miss obs
+                    // into the deps accumulator merged below.
+                    let mut acc = deps.acc.borrow_mut();
+                    acc.1.net.merge(&cost.net_obs);
+                    acc.1.resolver.merge(&cost.resolver_obs);
+                }
             }
             None => tally.ns_cache_hits += 1,
         }
@@ -369,15 +482,23 @@ fn measure_domain(
     ns_ips.sort_unstable();
     ns_ips.dedup();
 
+    let apex_span = Recorder::span(lane.elapsed_us());
     let apex_ips = match resolve_with_retry(&mut resolver, &mut lane, &qname, RType::A, &deps) {
         Ok(res) => res.addresses(),
-        Err(_) => Vec::new(),
+        Err(e) => {
+            if ctx.collect {
+                let key = fail_key(ScanError::from(e).category());
+                apex_span.end(&mut metrics.causes, key, lane.elapsed_us());
+            }
+            Vec::new()
+        }
     };
     if apex_ips.is_empty() {
         tally.apex_failures += 1;
     }
 
-    tally.merge(&deps.tally.into_inner());
+    let (deps_tally, deps_metrics) = deps.acc.into_inner();
+    tally.merge(&deps_tally);
     tally.queries += resolver.queries_sent();
     let causes = resolver.stats();
     tally.timeouts += causes.timeouts;
@@ -387,6 +508,14 @@ fn measure_domain(
     tally.virtual_us += lane.elapsed_us();
     tally.max_lane_end_us = tally.max_lane_end_us.max(lane.now().as_micros());
     tally.net.merge(lane.stats());
+    if ctx.collect {
+        metrics.net = lane.take_obs();
+        metrics.resolver = resolver.take_obs();
+        metrics.merge(&deps_metrics);
+        if !ns_names.is_empty() {
+            metrics.causes.record(keys::OK_US, lane.elapsed_us());
+        }
+    }
 
     Raw {
         domain: domain.clone(),
@@ -401,46 +530,45 @@ fn measure_domain(
 /// [`OpenIntelScanner::sweep`] per measurement day.
 pub struct OpenIntelScanner {
     resolver: IterativeResolver,
-    /// NS-failure-rate threshold above which a day is salvaged as a
-    /// [`Completeness::Partial`] sweep instead of kept whole. Chosen well
-    /// above ordinary packet-loss attrition so only genuine infrastructure
-    /// faults trip it.
-    partial_threshold: f64,
-    workers: usize,
+    opts: SweepOptions,
     ns_cache: NsCache,
     total_queries: u64,
+    /// Per-shard query counts of the most recent sweep. Deliberately a
+    /// scanner-side diagnostic, NOT part of [`DailySweep`]: how queries
+    /// split across shards depends on the worker count, and everything a
+    /// sweep returns must be worker-count-independent.
+    last_shard_queries: Vec<u64>,
 }
 
 impl OpenIntelScanner {
-    /// Build a scanner homed at the world's measurement vantage, with one
-    /// worker per available core.
+    /// Build a scanner homed at the world's measurement vantage with
+    /// default [`SweepOptions`].
     pub fn new(world: &World) -> Self {
+        Self::with_options(world, SweepOptions::new())
+    }
+
+    /// Build a scanner with explicit options.
+    pub fn with_options(world: &World, opts: SweepOptions) -> Self {
         OpenIntelScanner {
             resolver: IterativeResolver::new(world.scanner_ip(), world.root_hints()),
-            partial_threshold: 0.5,
-            workers: available_workers(),
+            opts,
             ns_cache: NsCache::new(),
             total_queries: 0,
+            last_shard_queries: Vec::new(),
         }
-    }
-
-    /// Override the partial-sweep salvage threshold (fraction of seeded
-    /// domains whose NS resolution must fail before the day is marked
-    /// partial).
-    pub fn set_partial_threshold(&mut self, threshold: f64) {
-        self.partial_threshold = threshold.clamp(0.0, 1.0);
-    }
-
-    /// Set the sweep worker count (clamped to at least one). Output is
-    /// byte-identical for every value; this knob trades wall-clock time
-    /// only.
-    pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.max(1);
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.opts.workers
+    }
+
+    /// Queries each shard of the most recent sweep sent, in shard order.
+    /// Worker-count-dependent by construction (a load-balance
+    /// diagnostic); the worker-count-independent total is
+    /// [`SweepStats::queries`].
+    pub fn last_shard_queries(&self) -> &[u64] {
+        &self.last_shard_queries
     }
 
     /// The shared NS-target cache (diagnostics/tests).
@@ -457,7 +585,10 @@ impl OpenIntelScanner {
     /// and merges shard outputs deterministically.
     pub fn sweep(&mut self, world: &mut World) -> DailySweep {
         let date = world.today();
+        let collect = self.opts.collect_metrics;
         world.publish_tld_zones();
+        world.network_mut().set_obs_enabled(collect);
+        self.resolver.obs_enabled = collect;
         self.resolver.clear_cache();
         self.ns_cache.begin_sweep(date);
         let seeds = world.seed_names();
@@ -479,6 +610,7 @@ impl OpenIntelScanner {
         // zones that answer NoData at the apex keep the referral glue.
         let mut primed = self.resolver.fork();
         let mut total = Tally::default();
+        let mut total_metrics = SweepMetrics::default();
         {
             let net = world.network();
             let mut lane = net.lane(&format!("{date}/warmup"));
@@ -512,16 +644,27 @@ impl OpenIntelScanner {
             total.virtual_us = lane.elapsed_us();
             total.max_lane_end_us = lane.now().as_micros();
             total.net = lane.stats();
+            if collect {
+                total_metrics.net.merge(&lane.take_obs());
+                total_metrics.resolver.merge(&primed.take_obs());
+            }
         }
 
         // Fan out: contiguous shards, one scoped worker each, merged back
-        // in shard order (= zone-snapshot order).
-        let plan = ShardPlan::new(seeds.len(), self.workers);
-        let net: &Network = world.network();
-        let primed_ref = &primed;
-        let ns_cache = &self.ns_cache;
+        // in shard order (= zone-snapshot order). Each worker carries its
+        // own tally AND its own metric section; both merge associatively,
+        // so the merged metrics are byte-identical for any worker count.
+        let plan = ShardPlan::new(seeds.len(), self.opts.workers);
+        let ctx = SweepCtx {
+            net: world.network(),
+            primed: &primed,
+            cache: &self.ns_cache,
+            date,
+            collect,
+        };
+        let ctx_ref = &ctx;
         let seeds_ref = &seeds;
-        let shard_outputs: Vec<(Vec<Raw>, Tally)> = crossbeam::thread::scope(|s| {
+        let shard_outputs: Vec<(Vec<Raw>, Tally, SweepMetrics)> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = plan
                 .ranges()
                 .iter()
@@ -529,18 +672,17 @@ impl OpenIntelScanner {
                 .map(|range| {
                     s.spawn(move |_| {
                         let mut tally = Tally::default();
+                        let mut metrics = SweepMetrics::default();
                         let mut raws = Vec::with_capacity(range.len());
                         for idx in range {
                             raws.push(measure_domain(
                                 &seeds_ref[idx],
-                                date,
-                                net,
-                                primed_ref,
-                                ns_cache,
+                                ctx_ref,
                                 &mut tally,
+                                &mut metrics,
                             ));
                         }
-                        (raws, tally)
+                        (raws, tally, metrics)
                     })
                 })
                 .collect();
@@ -551,9 +693,11 @@ impl OpenIntelScanner {
         })
         .expect("sweep worker pool");
 
+        self.last_shard_queries = shard_outputs.iter().map(|(_, t, _)| t.queries).collect();
         let mut raw: Vec<Raw> = Vec::with_capacity(seeds.len());
-        for (raws, tally) in shard_outputs {
+        for (raws, tally, metrics) in shard_outputs {
             total.merge(&tally);
+            total_metrics.merge(&metrics);
             raw.extend(raws);
         }
 
@@ -570,12 +714,15 @@ impl OpenIntelScanner {
         self.total_queries += total.queries;
 
         // The world's clock advances to the deterministic end of the
-        // slowest lane, and the lanes' transport counters fold into the
-        // network's globals.
+        // slowest lane, and the lanes' transport counters (and obs
+        // aggregates) fold into the network's globals.
         world
             .network_mut()
             .advance_to_time(SimTime::ZERO.plus_us(total.max_lane_end_us));
         world.network_mut().absorb_lane_stats(total.net);
+        if collect {
+            world.network_mut().absorb_lane_obs(&total_metrics.net);
+        }
 
         // Gap salvage: a day where most NS resolutions failed is not a
         // usable full snapshot (the real pipeline records such days as
@@ -584,11 +731,26 @@ impl OpenIntelScanner {
         // downstream analyses can impute rather than misread the dip as
         // mass domain deletion. Runs post-merge on merged counters, so the
         // classification is worker-count-independent too.
+        if collect && stats.seeded > 0 {
+            // Integer parts-per-million: the exported metric file carries
+            // no floats.
+            total_metrics.causes.add(
+                keys::SALVAGE_NS_FAILURE_PPM,
+                stats.ns_failures * 1_000_000 / stats.seeded,
+            );
+        }
         if stats.seeded > 0
-            && stats.ns_failures as f64 / stats.seeded as f64 > self.partial_threshold
+            && stats.ns_failures as f64 / stats.seeded as f64 > self.opts.partial_threshold
         {
             stats.completeness = Completeness::Partial;
+            let before = raw.len();
             raw.retain(|r| !r.ns_ips.is_empty() || !r.apex_ips.is_empty());
+            if collect {
+                total_metrics.causes.incr(keys::SALVAGE_PARTIAL);
+                total_metrics
+                    .causes
+                    .add(keys::SALVAGE_DROPPED, (before - raw.len()) as u64);
+            }
         }
 
         // Annotation pass (immutable world reads).
@@ -617,6 +779,7 @@ impl OpenIntelScanner {
             date,
             domains,
             stats,
+            metrics: total_metrics,
         }
     }
 
@@ -624,6 +787,15 @@ impl OpenIntelScanner {
     /// all sweeps, warmup and cache fills included).
     pub fn queries_sent(&self) -> u64 {
         self.total_queries + self.resolver.queries_sent()
+    }
+}
+
+impl Scanner for OpenIntelScanner {
+    type Snapshot = DailySweep;
+
+    /// One full daily sweep — [`OpenIntelScanner::sweep`].
+    fn run(&mut self, world: &mut World) -> DailySweep {
+        self.sweep(world)
     }
 }
 
@@ -663,6 +835,38 @@ mod tests {
         assert!(sweep.stats.ns_cache_hits > 0);
         assert!(sweep.stats.ns_cache_misses > 0);
         assert!(sweep.stats.ns_cache_hits + sweep.stats.ns_cache_misses >= sweep.stats.seeded);
+        // The cache's lock-free counters agree with the merged tallies
+        // (warmup deps-lookups also route through the tally, so the
+        // counter totals match exactly).
+        assert_eq!(scanner.ns_cache().hits(), sweep.stats.ns_cache_hits);
+        assert_eq!(scanner.ns_cache().misses(), sweep.stats.ns_cache_misses);
+        // The metrics section observed the sweep: every delivered packet
+        // left a delay sample, every resolved exchange an SRTT sample.
+        assert!(sweep.metrics.net.delay_us.count() > 0);
+        assert!(sweep.metrics.resolver.srtt_us.count() > 0);
+        assert!(sweep.metrics.resolver.deps_cache_hits > 0);
+        assert!(
+            sweep.metrics.causes.histogram(keys::OK_US).unwrap().count()
+                >= sweep.stats.seeded - sweep.stats.ns_failures
+        );
+        // Per-shard diagnostics cover the configured worker count and sum
+        // to (at most) the sweep total (warmup queries are charged to the
+        // sweep, not to any shard).
+        assert_eq!(scanner.last_shard_queries().len(), scanner.workers());
+        let shard_sum: u64 = scanner.last_shard_queries().iter().sum();
+        assert!(shard_sum > 0 && shard_sum <= sweep.stats.queries);
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let mut world = World::new(WorldConfig::tiny());
+        let mut scanner =
+            OpenIntelScanner::with_options(&world, SweepOptions::new().collect_metrics(false));
+        let sweep = scanner.sweep(&mut world);
+        assert!(sweep.metrics.is_empty(), "disabled metrics must stay empty");
+        // Counters are unaffected: the instrumented and uninstrumented
+        // sweeps measure the same world the same way.
+        assert!(sweep.stats.queries > 0);
     }
 
     #[test]
@@ -711,13 +915,17 @@ mod tests {
     fn worker_count_does_not_change_output() {
         let sweep_with = |workers: usize| {
             let mut world = World::new(WorldConfig::tiny());
-            let mut scanner = OpenIntelScanner::new(&world);
-            scanner.set_workers(workers);
+            let mut scanner =
+                OpenIntelScanner::with_options(&world, SweepOptions::new().workers(workers));
             scanner.sweep(&mut world)
         };
         let serial = sweep_with(1);
         let parallel = sweep_with(4);
         assert_eq!(serial, parallel, "4-worker sweep diverged from 1-worker");
+        // The embedded metric sections (histograms, link tables, cause
+        // recorders) are equal too — and render to byte-identical JSON.
+        assert_eq!(serial.metrics, parallel.metrics);
+        assert_eq!(serial.metrics.render_json(), parallel.metrics.render_json());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The unified scanner interface.
+//!
+//! The two measurement pipelines historically exposed different shapes:
+//! `OpenIntelScanner::sweep(&mut self, &mut World)` versus
+//! `IpScanner::scan(&self, &mut World)`. [`Scanner`] unifies them: every
+//! scanner takes `&mut self` (scanners accumulate run-to-run state —
+//! query totals, caches, last-run diagnostics) and returns a typed
+//! snapshot of one measurement run at the world's current date.
+//!
+//! The inherent methods (`sweep`, `scan`) remain the primary entry
+//! points; the trait is the generic seam — a driver that runs "every
+//! scanner, every day" holds `&mut dyn`-free generic scanners and calls
+//! [`Scanner::run`].
+
+use ruwhere_world::World;
+
+/// One measurement pipeline: runs against the world at its current date
+/// and returns a dated snapshot.
+pub trait Scanner {
+    /// The snapshot type one run produces.
+    type Snapshot;
+
+    /// Run one full measurement pass at the world's current date.
+    fn run(&mut self, world: &mut World) -> Self::Snapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IpScanner, OpenIntelScanner};
+    use ruwhere_world::WorldConfig;
+
+    /// A generic daily driver — the reason the trait exists.
+    fn run_scanner<S: Scanner>(scanner: &mut S, world: &mut World) -> S::Snapshot {
+        scanner.run(world)
+    }
+
+    #[test]
+    fn both_scanners_run_through_the_trait() {
+        let mut world = World::new(WorldConfig::tiny());
+        let mut sweep = OpenIntelScanner::new(&world);
+        let daily = run_scanner(&mut sweep, &mut world);
+        assert_eq!(daily.date, world.today());
+
+        let mut ip = IpScanner::new(&world);
+        let snap = run_scanner(&mut ip, &mut world);
+        assert_eq!(snap.date, world.today());
+    }
+}

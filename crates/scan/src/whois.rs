@@ -6,6 +6,7 @@
 //! protocol through the simulated network and classifies arrival lists
 //! the same way.
 
+use crate::error::ScanError;
 use ruwhere_registry::whois::{parse, WhoisRecord};
 use ruwhere_types::{Date, DomainName};
 use ruwhere_world::World;
@@ -36,14 +37,22 @@ impl WhoisClient {
     }
 
     /// Look up one domain.
-    pub fn lookup(&self, world: &mut World, domain: &DomainName) -> Option<WhoisRecord> {
+    ///
+    /// Returns [`ScanError::NotFound`] when the registry answers
+    /// authoritatively that the name is not registered — distinct from
+    /// transport failures ([`ScanError::Timeout`] /
+    /// [`ScanError::Unreachable`]), which the old `Option` return
+    /// conflated with it.
+    pub fn lookup(&self, world: &mut World, domain: &DomainName) -> Result<WhoisRecord, ScanError> {
         let server = world.whois_server();
         let query = format!("{}\r\n", domain.as_str());
         let reply = world
             .network_mut()
             .request(self.src, server, query.as_bytes(), 2_000_000, 2)
-            .ok()?;
-        parse(&String::from_utf8(reply).ok()?)
+            .map_err(ScanError::from)?;
+        let text = String::from_utf8(reply)
+            .map_err(|_| ScanError::BadPayload("non-UTF-8 WHOIS reply".to_owned()))?;
+        parse(&text).ok_or(ScanError::NotFound)
     }
 
     /// Classify `arrivals` by whether WHOIS shows them registered strictly
@@ -58,11 +67,14 @@ impl WhoisClient {
         let mut out = ArrivalClassification::default();
         for domain in arrivals {
             match self.lookup(world, domain) {
-                Some(rec) if rec.created > existed_before => {
+                Ok(rec) if rec.created > existed_before => {
                     out.newly_registered.push(domain.clone())
                 }
-                Some(_) => out.preexisting.push(domain.clone()),
-                None => out.unknown.push(domain.clone()),
+                Ok(_) => out.preexisting.push(domain.clone()),
+                // NotFound (lapsed between sweeps) and transport failures
+                // alike: WHOIS could not confirm, so the name stays in
+                // the unknown bucket (the paper's footnote-10 handling).
+                Err(_) => out.unknown.push(domain.clone()),
             }
         }
         out
@@ -89,9 +101,12 @@ mod tests {
         }
         assert!(!rec.nservers.is_empty(), "delegated domains list NS");
 
-        // Unregistered name.
+        // Unregistered name: an authoritative miss, not a wire failure.
         let missing: DomainName = "definitely-not-registered-xyz.ru".parse().unwrap();
-        assert!(client.lookup(&mut world, &missing).is_none());
+        assert_eq!(
+            client.lookup(&mut world, &missing).unwrap_err(),
+            ScanError::NotFound
+        );
     }
 
     #[test]

@@ -8,33 +8,10 @@
 //! transfer protocol against the registry's XFR service — and parses the
 //! zone text back into delegations.
 
+use crate::error::ScanError;
 use ruwhere_dns::Zone;
 use ruwhere_types::DomainName;
 use ruwhere_world::World;
-use std::fmt;
-
-/// Zone-transfer failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum XfrError {
-    /// Transport failure (timeout / unreachable).
-    Transport,
-    /// Malformed response framing.
-    BadFrame,
-    /// The assembled zone text failed to parse.
-    BadZone(String),
-}
-
-impl fmt::Display for XfrError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            XfrError::Transport => write!(f, "zone transfer transport failure"),
-            XfrError::BadFrame => write!(f, "malformed zone transfer frame"),
-            XfrError::BadZone(e) => write!(f, "transferred zone failed to parse: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for XfrError {}
 
 /// The transfer client.
 pub struct ZoneTransferClient {
@@ -54,39 +31,43 @@ impl ZoneTransferClient {
         world: &mut World,
         tld: &str,
         chunk: usize,
-    ) -> Result<(usize, String), XfrError> {
+    ) -> Result<(usize, String), ScanError> {
+        let bad_frame = || ScanError::BadPayload("malformed zone transfer frame".to_owned());
         let server = world.xfr_server();
         let req = format!("XFR {tld} {chunk}");
         let reply = world
             .network_mut()
             .request(self.src, server, req.as_bytes(), 3_000_000, 2)
-            .map_err(|_| XfrError::Transport)?;
-        let text = String::from_utf8(reply).map_err(|_| XfrError::BadFrame)?;
-        let (header, body) = text.split_once('\n').ok_or(XfrError::BadFrame)?;
+            .map_err(ScanError::from)?;
+        let text = String::from_utf8(reply).map_err(|_| bad_frame())?;
+        let (header, body) = text.split_once('\n').ok_or_else(bad_frame)?;
         let total: usize = header
             .strip_prefix("XFRHDR ")
-            .ok_or(XfrError::BadFrame)?
+            .ok_or_else(bad_frame)?
             .trim()
             .parse()
-            .map_err(|_| XfrError::BadFrame)?;
+            .map_err(|_| bad_frame())?;
         Ok((total, body.to_owned()))
     }
 
     /// Transfer the full zone for `tld` (presentation name, e.g. `"ru"` or
-    /// `"xn--p1ai"`).
-    pub fn transfer(&self, world: &mut World, tld: &str) -> Result<Zone, XfrError> {
+    /// `"xn--p1ai"`). Transport failures surface as
+    /// [`ScanError::Timeout`] / [`ScanError::Unreachable`]; framing and
+    /// zone-text failures as [`ScanError::BadPayload`].
+    pub fn transfer(&self, world: &mut World, tld: &str) -> Result<Zone, ScanError> {
         let (total, first) = self.fetch_chunk(world, tld, 0)?;
         let mut text = first;
         for i in 1..total {
             let (_, body) = self.fetch_chunk(world, tld, i)?;
             text.push_str(&body);
         }
-        Zone::from_text(&text).map_err(|e| XfrError::BadZone(e.to_string()))
+        Zone::from_text(&text)
+            .map_err(|e| ScanError::BadPayload(format!("transferred zone failed to parse: {e}")))
     }
 
     /// Transfer both study zones and extract the seed list (delegated
     /// names, sorted) — byte-for-byte what the out-of-band path yields.
-    pub fn seed_names(&self, world: &mut World) -> Result<Vec<DomainName>, XfrError> {
+    pub fn seed_names(&self, world: &mut World) -> Result<Vec<DomainName>, ScanError> {
         let mut seeds = Vec::new();
         for tld in ["ru", "xn--p1ai"] {
             let zone = self.transfer(world, tld)?;
@@ -143,7 +124,7 @@ mod tests {
         // The service stays silent for unknown zones → transport timeout.
         assert_eq!(
             client.transfer(&mut world, "su").unwrap_err(),
-            XfrError::Transport
+            ScanError::Timeout
         );
     }
 }

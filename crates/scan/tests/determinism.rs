@@ -1,12 +1,14 @@
 //! The parallel sweep engine's determinism contract: for ANY worker
 //! count, the merged daily sweep is byte-identical to the 1-worker run —
-//! faults, packet loss, partial-sweep salvage and completeness
-//! classification included. Worker count trades wall-clock time only.
+//! faults, packet loss, partial-sweep salvage, completeness
+//! classification AND the embedded observability section (histograms,
+//! per-link tables, cause recorders) included. Worker count trades
+//! wall-clock time only.
 
 use proptest::prelude::*;
 use ruwhere_netsim::fault::{FaultWindow, LinkFault, ServerFault, ServerFaultMode};
 use ruwhere_netsim::SimTime;
-use ruwhere_scan::{DailySweep, OpenIntelScanner};
+use ruwhere_scan::{DailySweep, OpenIntelScanner, SweepOptions};
 use ruwhere_world::{ConflictEvent, FaultTarget, InfraFault, World, WorldConfig};
 use std::net::Ipv4Addr;
 
@@ -101,8 +103,7 @@ fn sweep_with_workers(spec: &DaySpec, workers: usize) -> DailySweep {
     });
 
     world.advance_to(fault_date);
-    let mut scanner = OpenIntelScanner::new(&world);
-    scanner.set_workers(workers);
+    let mut scanner = OpenIntelScanner::with_options(&world, SweepOptions::new().workers(workers));
     scanner.sweep(&mut world)
 }
 
@@ -119,6 +120,12 @@ proptest! {
         prop_assert_eq!(serial.date, sharded.date);
         prop_assert_eq!(serial.stats, sharded.stats);
         prop_assert_eq!(serial.domains, sharded.domains);
+        // The observability section merges associatively over whatever
+        // sharding the worker count induced: merged histograms, link
+        // tables and cause recorders are equal — and their JSON export is
+        // byte-identical, which is what the CI determinism gate compares.
+        prop_assert_eq!(&serial.metrics, &sharded.metrics);
+        prop_assert_eq!(serial.metrics.render_json(), sharded.metrics.render_json());
     }
 }
 
@@ -129,11 +136,12 @@ fn more_workers_than_useful_is_still_identical() {
     let sweep = |workers: usize| {
         let mut world = World::new(WorldConfig::tiny());
         world.network_mut().loss_rate = 0.1;
-        let mut scanner = OpenIntelScanner::new(&world);
-        scanner.set_workers(workers);
+        let mut scanner =
+            OpenIntelScanner::with_options(&world, SweepOptions::new().workers(workers));
         scanner.sweep(&mut world)
     };
     let serial = sweep(1);
     let wide = sweep(64);
     assert_eq!(serial, wide);
+    assert_eq!(serial.metrics.render_json(), wide.metrics.render_json());
 }

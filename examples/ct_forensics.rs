@@ -103,7 +103,7 @@ fn main() {
 
     // §4.3: the Russian Trusted Root CA is invisible to CT — find it by
     // scanning served chains.
-    let scanner = IpScanner::new(&world);
+    let mut scanner = IpScanner::new(&world);
     let snapshot = scanner.scan(&mut world);
     let analysis =
         RussianCaAnalysis::new(&snapshot, &certs, &sanctions, Date::from_ymd(2022, 5, 15));

@@ -33,6 +33,7 @@ pub use ruwhere_ct as ct;
 pub use ruwhere_dns as dns;
 pub use ruwhere_geo as geo;
 pub use ruwhere_netsim as netsim;
+pub use ruwhere_obs as obs;
 pub use ruwhere_registry as registry;
 pub use ruwhere_scan as scan;
 pub use ruwhere_types as types;
@@ -45,7 +46,10 @@ pub mod prelude {
         InfraKind, MovementReport, RevocationAnalysis, RussianCaAnalysis, Series, StudyConfig,
         StudyResults, Table, TldDependencySeries, TldUsageSeries,
     };
-    pub use ruwhere_scan::{CertDataset, DailySweep, IpScanner, MatchRule, OpenIntelScanner};
+    pub use ruwhere_scan::{
+        CertDataset, DailySweep, IpScanner, MatchRule, OpenIntelScanner, ScanError, Scanner,
+        SweepMetrics, SweepOptions,
+    };
     pub use ruwhere_types::{
         Asn, Country, Date, DomainName, Period, SeedTree, CONFLICT_START, SANCTIONS_EFFECT,
         STUDY_END, STUDY_START,
