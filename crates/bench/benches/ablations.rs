@@ -132,7 +132,7 @@ fn bench_sanctioned_filter(c: &mut Criterion) {
     // Figure 5's dated-sanctions filter vs a static set: the dated filter
     // re-evaluates listing dates per record.
     let r = fixture();
-    let sweep = r.final_sweep().unwrap();
+    let frame = r.final_sweep().unwrap();
     let static_set: Vec<ruwhere_types::DomainName> =
         r.sanctions.iter().map(|(d, _, _)| d.clone()).collect();
     let mut g = c.benchmark_group("ablation_sanctions_filter");
@@ -142,7 +142,8 @@ fn bench_sanctioned_filter(c: &mut Criterion) {
                 ruwhere_core::composition::InfraKind::NameServers,
                 r.sanctions.clone(),
             );
-            s.observe(black_box(sweep));
+            let mut engine = ruwhere_core::AnalysisEngine::new();
+            engine.observe_frame(black_box(frame), &r.interner, &mut [&mut s]);
             black_box(s)
         })
     });
@@ -152,7 +153,8 @@ fn bench_sanctioned_filter(c: &mut Criterion) {
                 ruwhere_core::composition::InfraKind::NameServers,
                 static_set.clone(),
             );
-            s.observe(black_box(sweep));
+            let mut engine = ruwhere_core::AnalysisEngine::new();
+            engine.observe_frame(black_box(frame), &r.interner, &mut [&mut s]);
             black_box(s)
         })
     });

@@ -1,0 +1,74 @@
+//! The analysis-fold ablation behind the columnar-store refactor: one
+//! single-pass [`AnalysisEngine`] walk feeding all eight study series vs
+//! the pre-engine shape where each series independently folds the
+//! row-form sweep (eight full walks over the same records).
+//!
+//! Both sides build their series fresh inside the timed closure, so the
+//! comparison isolates the fold itself: one walk with eight hook
+//! dispatches per record vs eight walks with one classification each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruwhere_bench::fixture;
+use ruwhere_core::{
+    composition::{CompositionSeries, InfraKind},
+    AnalysisEngine, AsnShareSeries, DatasetStats, TldDependencySeries, TldUsageSeries,
+    TransitionFlows,
+};
+use std::hint::black_box;
+
+fn bench_analysis_fold(c: &mut Criterion) {
+    let r = fixture();
+    let frame = r.final_sweep().expect("fixture retains its final sweep");
+    let daily = frame.to_daily_sweep(&r.interner);
+    let series = || {
+        (
+            CompositionSeries::new(InfraKind::NameServers),
+            CompositionSeries::new(InfraKind::Hosting),
+            CompositionSeries::sanctioned(InfraKind::NameServers, r.sanctions.clone()),
+            TldDependencySeries::new(),
+            TldUsageSeries::new(),
+            AsnShareSeries::new(),
+            DatasetStats::new(),
+            TransitionFlows::new(InfraKind::NameServers),
+        )
+    };
+
+    let mut g = c.benchmark_group("analysis_fold");
+    g.bench_function("single_pass_engine", |b| {
+        b.iter(|| {
+            let (mut c1, mut c2, mut c3, mut td, mut tu, mut asn, mut ds, mut tf) = series();
+            let mut engine = AnalysisEngine::new();
+            engine.observe_frame(
+                black_box(frame),
+                &r.interner,
+                &mut [
+                    &mut c1, &mut c2, &mut c3, &mut td, &mut tu, &mut asn, &mut ds, &mut tf,
+                ],
+            );
+            black_box(engine.record_visits())
+        })
+    });
+    g.bench_function("eight_pass_row_fold", |b| {
+        b.iter(|| {
+            let (mut c1, mut c2, mut c3, mut td, mut tu, mut asn, mut ds, mut tf) = series();
+            let sweep = black_box(&daily);
+            c1.observe(sweep);
+            c2.observe(sweep);
+            c3.observe(sweep);
+            td.observe(sweep);
+            tu.observe(sweep);
+            asn.observe(sweep);
+            ds.observe(sweep);
+            tf.observe(sweep);
+            black_box(8 * sweep.domains.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analysis_fold
+);
+criterion_main!(benches);

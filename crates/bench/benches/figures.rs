@@ -11,17 +11,24 @@ use ruwhere_core::movement::MovementReport;
 use ruwhere_core::revocation::RevocationAnalysis;
 use ruwhere_core::russian_ca::RussianCaAnalysis;
 use ruwhere_core::tld_dependency::{TldDependencySeries, TldUsageSeries};
-use ruwhere_core::{AsnShareSeries, CaIssuanceAnalysis};
+use ruwhere_core::{AnalysisEngine, AsnShareSeries, CaIssuanceAnalysis, FrameObserver};
 use ruwhere_types::{Asn, Date, CERT_WINDOW_END};
 use std::hint::black_box;
 
+/// Run one observer over the fixture's retained final frame via the
+/// single-pass engine — the path `run_study` actually takes.
+fn fold_final_frame<O: FrameObserver>(r: &ruwhere_core::StudyResults, obs: &mut O) {
+    let frame = r.final_sweep().expect("fixture retains final sweep");
+    let mut engine = AnalysisEngine::new();
+    engine.observe_frame(black_box(frame), &r.interner, &mut [obs]);
+}
+
 fn bench_fig1(c: &mut Criterion) {
     let r = fixture();
-    let sweep = r.final_sweep().expect("fixture retains final sweep");
     c.bench_function("fig1_ns_composition_observe", |b| {
         b.iter(|| {
             let mut s = CompositionSeries::new(InfraKind::NameServers);
-            s.observe(black_box(sweep));
+            fold_final_frame(r, &mut s);
             black_box(s)
         })
     });
@@ -32,18 +39,17 @@ fn bench_fig1(c: &mut Criterion) {
 
 fn bench_fig2_fig3(c: &mut Criterion) {
     let r = fixture();
-    let sweep = r.final_sweep().unwrap();
     c.bench_function("fig2_tld_dependency_observe", |b| {
         b.iter(|| {
             let mut s = TldDependencySeries::new();
-            s.observe(black_box(sweep));
+            fold_final_frame(r, &mut s);
             black_box(s)
         })
     });
     c.bench_function("fig3_tld_usage_observe", |b| {
         b.iter(|| {
             let mut s = TldUsageSeries::new();
-            s.observe(black_box(sweep));
+            fold_final_frame(r, &mut s);
             black_box(s)
         })
     });
@@ -51,11 +57,10 @@ fn bench_fig2_fig3(c: &mut Criterion) {
 
 fn bench_fig4(c: &mut Criterion) {
     let r = fixture();
-    let sweep = r.final_sweep().unwrap();
     c.bench_function("fig4_asn_share_observe", |b| {
         b.iter(|| {
             let mut s = AsnShareSeries::new();
-            s.observe(black_box(sweep));
+            fold_final_frame(r, &mut s);
             black_box(s)
         })
     });
@@ -63,11 +68,10 @@ fn bench_fig4(c: &mut Criterion) {
 
 fn bench_fig5(c: &mut Criterion) {
     let r = fixture();
-    let sweep = r.final_sweep().unwrap();
     c.bench_function("fig5_sanctioned_composition_observe", |b| {
         b.iter(|| {
             let mut s = CompositionSeries::sanctioned(InfraKind::NameServers, r.sanctions.clone());
-            s.observe(black_box(sweep));
+            fold_final_frame(r, &mut s);
             black_box(s)
         })
     });
@@ -76,22 +80,24 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6_fig7(c: &mut Criterion) {
     let r = fixture();
     let a = r.sweep_at(Date::from_ymd(2022, 3, 8)).expect("retained");
-    let b_sweep = r.final_sweep().unwrap();
+    let b_frame = r.final_sweep().unwrap();
     c.bench_function("fig6_amazon_movement", |b| {
         b.iter(|| {
-            black_box(MovementReport::analyze(
+            black_box(MovementReport::analyze_frames(
                 black_box(a),
-                black_box(b_sweep),
+                black_box(b_frame),
                 Asn::AMAZON,
+                &r.interner,
             ))
         })
     });
     c.bench_function("fig7_sedo_movement", |b| {
         b.iter(|| {
-            black_box(MovementReport::analyze(
+            black_box(MovementReport::analyze_frames(
                 black_box(a),
-                black_box(b_sweep),
+                black_box(b_frame),
                 Asn::SEDO,
+                &r.interner,
             ))
         })
     });

@@ -18,6 +18,9 @@
 //!   throughput at 1/2/4/8 workers on the pinned CI fixture
 //!   (`RUWHERE_BENCH_DAYS` days per count) and write `FILE`
 //!   (`BENCH_sweep.json`: wall time, queries/sec, NS-cache hit rate).
+//!   Also measures the analysis phase — the single-pass engine walk vs
+//!   the legacy eight-pass per-series fold — and embeds the visit counts
+//!   and wall times as the artifact's `analysis` line.
 //! * `--check-baseline FILE`  after `--bench-sweep`, gate the measured
 //!   throughput against the committed baseline `FILE`: exit 1 if any
 //!   worker count regresses more than 15% in queries/sec.
@@ -27,6 +30,12 @@
 //!   histograms, per-link transport tables, resolver counters). The file
 //!   is byte-identical for any worker count — CI compares a 1-worker and
 //!   a 4-worker run with `cmp`. Composes with `--bench-sweep`.
+//! * `--report FILE`  run the pinned fixture study (`RUWHERE_BENCH_DAYS`
+//!   honored, `RUWHERE_WORKERS` honored) and write every figure/table
+//!   artifact plus retained sweep stats, engine work counters and the
+//!   full symbol-table dump as one text file. Byte-identical for any
+//!   worker count — CI compares a 1-worker and a 4-worker report with
+//!   `cmp`. Composes with `--bench-sweep` and `--metrics`.
 
 use ruwhere_core::figures;
 use ruwhere_core::{run_study, StudyConfig};
@@ -42,6 +51,7 @@ struct Args {
     bench_sweep: Option<std::path::PathBuf>,
     check_baseline: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    report: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +63,7 @@ fn parse_args() -> Args {
         bench_sweep: None,
         check_baseline: None,
         metrics: None,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,6 +97,13 @@ fn parse_args() -> Args {
                         .into(),
                 );
             }
+            "--report" => {
+                args.report = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --report"))
+                        .into(),
+                );
+            }
             "--out" => {
                 args.out = Some(
                     it.next()
@@ -107,7 +125,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--ablation-geolag]\n\
          \x20            [--bench-sweep FILE [--check-baseline BASELINE]]\n\
-         \x20            [--metrics FILE]"
+         \x20            [--metrics FILE] [--report FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -136,7 +154,22 @@ fn run_bench_sweep(out: &std::path::Path, baseline: Option<&std::path::Path>) {
     if let Some(s) = ruwhere_bench::speedup(&rows, 1, 8) {
         eprintln!("  speedup 1→8 workers: {s:.2}×");
     }
-    let json = ruwhere_bench::render_bench_json(&rows);
+    let workers = ruwhere_scan::available_workers();
+    eprintln!("bench: analysis fold ({workers} workers, single-pass vs eight-pass)…");
+    let analysis = ruwhere_bench::bench_analysis(workers);
+    eprintln!(
+        "  single-pass engine: {} record visits ({} dispatches) in {:.3}s",
+        analysis.single_pass_visits, analysis.observer_dispatches, analysis.single_pass_seconds
+    );
+    eprintln!(
+        "  eight-pass baseline: {} record visits in {:.3}s — {:.1}× more visits, {:.2}× slower",
+        analysis.eight_pass_visits,
+        analysis.eight_pass_seconds,
+        analysis.visit_ratio(),
+        analysis.wall_speedup()
+    );
+
+    let json = ruwhere_bench::render_bench_json(&rows, Some(&analysis));
     std::fs::write(out, &json).expect("write bench artifact");
     eprintln!("wrote {}", out.display());
 
@@ -173,6 +206,29 @@ fn run_metrics_export(out: &std::path::Path) {
         days,
         metrics.net.delay_us.count(),
         metrics.resolver.srtt_us.count(),
+    );
+}
+
+/// Report-export mode: run the pinned fixture study and render every
+/// figure/table artifact, the retained sweeps' stats, the engine's work
+/// counters and the full symbol-table dump into one text file. The
+/// determinism contract makes the bytes independent of the worker count
+/// (`RUWHERE_WORKERS` honored) — CI renders a 1-worker and a 4-worker
+/// report and compares them with `cmp`.
+fn run_report_export(out: &std::path::Path) {
+    let cfg = ruwhere_bench::fixture_config();
+    eprintln!(
+        "report: running the pinned fixture study with {} workers…",
+        cfg.workers
+    );
+    let results = run_study(&cfg);
+    let text = ruwhere_bench::render_report(&results);
+    std::fs::write(out, &text).expect("write report artifact");
+    eprintln!(
+        "wrote {} ({} sections, {} bytes)",
+        out.display(),
+        text.matches("=== ").count(),
+        text.len()
     );
 }
 
@@ -237,18 +293,24 @@ fn run_geolag_ablation(scale: usize) {
 
 fn main() {
     let args = parse_args();
+    // Artifact modes compose: any subset of --bench-sweep / --metrics /
+    // --report runs in that order, then exits.
+    let mut artifact_mode = false;
     if let Some(out) = &args.bench_sweep {
         run_bench_sweep(out, args.check_baseline.as_deref());
-        if let Some(m) = &args.metrics {
-            run_metrics_export(m);
-        }
-        return;
-    }
-    if args.check_baseline.is_some() {
+        artifact_mode = true;
+    } else if args.check_baseline.is_some() {
         usage("--check-baseline requires --bench-sweep");
     }
     if let Some(m) = &args.metrics {
         run_metrics_export(m);
+        artifact_mode = true;
+    }
+    if let Some(rp) = &args.report {
+        run_report_export(rp);
+        artifact_mode = true;
+    }
+    if artifact_mode {
         return;
     }
     if args.ablation_geolag {

@@ -9,11 +9,16 @@
 //! rows to the committed `BENCH_sweep.json` format, and [`check_baseline`]
 //! gates regressions against a committed baseline.
 
-use ruwhere_core::{run_study, StudyConfig, StudyResults};
-use ruwhere_scan::{OpenIntelScanner, SweepMetrics, SweepOptions};
-use ruwhere_types::Date;
+use ruwhere_core::{
+    figures, run_study, AnalysisEngine, AsnShareSeries, CompositionSeries, DatasetStats, InfraKind,
+    StudyConfig, StudyResults, TldDependencySeries, TldUsageSeries, TransitionFlows,
+};
+use ruwhere_registry::SanctionsList;
+use ruwhere_scan::{DailySweep, OpenIntelScanner, SweepMetrics, SweepOptions};
+use ruwhere_store::Interner;
+use ruwhere_types::{Asn, Date};
 use ruwhere_world::{World, WorldConfig};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Environment variable naming the number of daily-sweep days in the
@@ -130,6 +135,147 @@ pub fn bench_sweep_opts(worker_counts: &[usize], collect_metrics: bool) -> Vec<S
         .collect()
 }
 
+/// The analysis-phase measurement: the single-pass [`AnalysisEngine`]
+/// walk vs the legacy eight-pass shape where every series folds the
+/// row-form sweep independently, over the same swept days.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisBenchReport {
+    /// Days analysed.
+    pub sweeps: i32,
+    /// Total records across the analysed frames.
+    pub records: u64,
+    /// Records the single-pass engine visited (one per record per frame,
+    /// no matter how many observers ride the walk).
+    pub single_pass_visits: u64,
+    /// Observer hook dispatches the engine made (visits × observers).
+    pub observer_dispatches: u64,
+    /// Records the eight-pass baseline visits (eight full walks per
+    /// frame, one per series).
+    pub eight_pass_visits: u64,
+    /// Wall-clock seconds of the single engine walk over all frames.
+    pub single_pass_seconds: f64,
+    /// Wall-clock seconds of the eight independent series folds.
+    pub eight_pass_seconds: f64,
+}
+
+impl AnalysisBenchReport {
+    /// How many times fewer record visits the single pass makes.
+    pub fn visit_ratio(&self) -> f64 {
+        if self.single_pass_visits > 0 {
+            self.eight_pass_visits as f64 / self.single_pass_visits as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock speedup of the single pass over the eight-pass fold.
+    pub fn wall_speedup(&self) -> f64 {
+        if self.single_pass_seconds > 0.0 {
+            self.eight_pass_seconds / self.single_pass_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full eight-series observer set `run_study` drives, fresh.
+fn study_series(
+    sanctions: &SanctionsList,
+) -> (
+    CompositionSeries,
+    CompositionSeries,
+    CompositionSeries,
+    TldDependencySeries,
+    TldUsageSeries,
+    AsnShareSeries,
+    DatasetStats,
+    TransitionFlows,
+) {
+    (
+        CompositionSeries::new(InfraKind::NameServers),
+        CompositionSeries::new(InfraKind::Hosting),
+        CompositionSeries::sanctioned(InfraKind::NameServers, sanctions.clone()),
+        TldDependencySeries::new(),
+        TldUsageSeries::new(),
+        AsnShareSeries::new(),
+        DatasetStats::new(),
+        TransitionFlows::new(InfraKind::NameServers),
+    )
+}
+
+/// Measure the analysis phase on the pinned fixture: sweep
+/// `$RUWHERE_BENCH_DAYS` days once (untimed), then feed the eight study
+/// series two ways — one [`AnalysisEngine`] walk per frame (what
+/// `run_study` does), and the pre-engine shape where each series folds
+/// the row-form sweep on its own, re-walking every record eight times
+/// per day. Visit counts are exact; wall-clock covers only the folds,
+/// never the sweeping.
+pub fn bench_analysis(workers: usize) -> AnalysisBenchReport {
+    let days = bench_days();
+    let mut world = World::new(WorldConfig::tiny());
+    let sanctions = world.sanctions().clone();
+    let interner = Arc::new(Interner::new());
+    let mut scanner = OpenIntelScanner::with_options(
+        &world,
+        SweepOptions::new()
+            .workers(workers)
+            .interner(interner.clone()),
+    );
+    let mut frames = Vec::new();
+    for day in 0..days {
+        if day > 0 {
+            world.advance_to(world.today().succ());
+        }
+        frames.push(scanner.sweep_frame(&mut world).strip_metrics());
+    }
+    let records: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    // Row-form copies for the eight-pass baseline (how retained data
+    // reached the series before the columnar store existed).
+    let dailies: Vec<DailySweep> = frames.iter().map(|f| f.to_daily_sweep(&interner)).collect();
+
+    // Single pass: one engine walk per frame feeds all eight observers.
+    let (mut c1, mut c2, mut c3, mut td, mut tu, mut asn, mut ds, mut tf) =
+        study_series(&sanctions);
+    let mut engine = AnalysisEngine::new();
+    let t0 = Instant::now();
+    for frame in &frames {
+        engine.observe_frame(
+            frame,
+            &interner,
+            &mut [
+                &mut c1, &mut c2, &mut c3, &mut td, &mut tu, &mut asn, &mut ds, &mut tf,
+            ],
+        );
+    }
+    let single_pass_seconds = t0.elapsed().as_secs_f64();
+
+    // Eight passes: every series folds the day independently.
+    let (mut c1, mut c2, mut c3, mut td, mut tu, mut asn, mut ds, mut tf) =
+        study_series(&sanctions);
+    let t0 = Instant::now();
+    for sweep in &dailies {
+        c1.observe(sweep);
+        c2.observe(sweep);
+        c3.observe(sweep);
+        td.observe(sweep);
+        tu.observe(sweep);
+        asn.observe(sweep);
+        ds.observe(sweep);
+        tf.observe(sweep);
+    }
+    let eight_pass_seconds = t0.elapsed().as_secs_f64();
+
+    AnalysisBenchReport {
+        sweeps: days,
+        records,
+        single_pass_visits: engine.record_visits(),
+        observer_dispatches: engine.observer_dispatches(),
+        eight_pass_visits: 8 * records,
+        single_pass_seconds,
+        eight_pass_seconds,
+    }
+}
+
 /// Sweep the bench fixture's `$RUWHERE_BENCH_DAYS` days once with metrics
 /// on and return the run-level merged metric section plus the day count.
 ///
@@ -165,8 +311,11 @@ pub fn render_metrics_json(metrics: &SweepMetrics, days: i32) -> String {
 
 /// Serialise bench rows as the `BENCH_sweep.json` artifact. Hand-rolled
 /// (the build has no JSON dependency); one row object per line so the
-/// baseline gate can parse it with plain string scanning.
-pub fn render_bench_json(rows: &[SweepBenchRow]) -> String {
+/// baseline gate can parse it with plain string scanning. The optional
+/// analysis report lands as one extra `"analysis"` line — it carries
+/// neither a `workers` nor a `queries_per_sec` key, so [`check_baseline`]
+/// skips it by construction.
+pub fn render_bench_json(rows: &[SweepBenchRow], analysis: Option<&AnalysisBenchReport>) -> String {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = format!("{{\n  \"bench\": \"sweep\",\n  \"cpus\": {cpus},\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -187,10 +336,99 @@ pub fn render_bench_json(rows: &[SweepBenchRow]) -> String {
         *rows.iter().map(|r| &r.workers).max().unwrap_or(&1),
     );
     out.push_str("  ],\n");
+    if let Some(a) = analysis {
+        out.push_str(&format!(
+            "  \"analysis\": {{\"sweeps\": {}, \"records\": {}, \"single_pass_visits\": {}, \
+             \"observer_dispatches\": {}, \"eight_pass_visits\": {}, \"visit_ratio\": {:.2}, \
+             \"single_pass_seconds\": {:.6}, \"eight_pass_seconds\": {:.6}}},\n",
+            a.sweeps,
+            a.records,
+            a.single_pass_visits,
+            a.observer_dispatches,
+            a.eight_pass_visits,
+            a.visit_ratio(),
+            a.single_pass_seconds,
+            a.eight_pass_seconds,
+        ));
+    }
     out.push_str(&format!(
         "  \"max_speedup\": {:.2}\n}}\n",
         speedup.unwrap_or(1.0)
     ));
+    out
+}
+
+/// Render every paper artifact the study can produce, plus the retained
+/// sweeps' aggregate stats, the engine's work counters and the full
+/// symbol-table dump, as one text document. The content is a pure
+/// function of the study output, and the determinism contract makes that
+/// output byte-identical for any worker count — CI renders a 1-worker
+/// and a 4-worker report and compares them with `cmp`.
+pub fn render_report(r: &StudyResults) -> String {
+    let mut artifacts: Vec<(&str, String)> = vec![
+        ("dataset_stats", figures::dataset_table(r).render()),
+        ("fig1_series", figures::fig1_series(r).render()),
+        ("fig1_summary", figures::fig1_summary(r).render()),
+        ("hosting_summary", figures::hosting_summary(r).render()),
+        ("fig2_series", figures::fig2_series(r).render()),
+        ("fig2_summary", figures::fig2_summary(r).render()),
+        ("fig3_series", figures::fig3_series(r).render()),
+        ("fig3_summary", figures::fig3_summary(r).render()),
+        ("fig4_series", figures::fig4_series(r).render()),
+        ("fig5_series", figures::fig5_series(r).render()),
+        ("fig5_summary", figures::fig5_summary(r).render()),
+    ];
+    let end = r.retained.keys().next_back().copied();
+    let start = Date::from_ymd(2022, 3, 8);
+    if let Some(end) = end {
+        if let Some((t, _)) = figures::movement_table(r, Asn::AMAZON, "Figure 6", start, end, "") {
+            artifacts.push(("fig6_amazon", t.render()));
+        }
+        if let Some((t, _)) = figures::movement_table(r, Asn::SEDO, "Figure 7", start, end, "") {
+            artifacts.push(("fig7_sedo", t.render()));
+        }
+    }
+    artifacts.push((
+        "provider_actions",
+        figures::provider_actions_table(r).render(),
+    ));
+    let (fig8, _) = figures::fig8_table(r);
+    artifacts.push(("fig8_ca_timelines", fig8.render()));
+    artifacts.push(("tab1_issuance", figures::table1(r).render()));
+    artifacts.push(("cert_volume", figures::cert_volume_table(r).render()));
+    artifacts.push(("tab2_revocation", figures::table2(r).render()));
+    if let Some(t) = figures::russian_ca_table(r) {
+        artifacts.push(("sec4_3_russian_ca", t.render()));
+    }
+    artifacts.push(("transition_flows", figures::transition_table(r).render()));
+    artifacts.push(("sec6_discussion", figures::discussion_table(r).render()));
+
+    let mut stats = String::new();
+    for (date, frame) in &r.retained {
+        stats.push_str(&format!(
+            "{date}  records={}  {:?}\n",
+            frame.len(),
+            frame.stats
+        ));
+    }
+    artifacts.push(("retained_sweep_stats", stats));
+    artifacts.push((
+        "analysis_engine",
+        format!(
+            "frames={}  record_visits={}  observer_dispatches={}\n",
+            r.analysis.frames(),
+            r.analysis.record_visits(),
+            r.analysis.observer_dispatches()
+        ),
+    ));
+    // The symbol table is the byte-identity oracle: identical dumps mean
+    // identical symbol assignment across the whole study.
+    artifacts.push(("interner_dump", r.interner.dump()));
+
+    let mut out = String::new();
+    for (id, text) in &artifacts {
+        out.push_str(&format!("=== {id} ===\n{text}\n"));
+    }
     out
 }
 
@@ -285,9 +523,42 @@ mod tests {
         ]
     }
 
+    fn analysis() -> AnalysisBenchReport {
+        AnalysisBenchReport {
+            sweeps: 3,
+            records: 1000,
+            single_pass_visits: 1000,
+            observer_dispatches: 8000,
+            eight_pass_visits: 8000,
+            single_pass_seconds: 0.5,
+            eight_pass_seconds: 2.0,
+        }
+    }
+
+    #[test]
+    fn analysis_line_is_invisible_to_the_gate() {
+        let json = render_bench_json(&rows(), Some(&analysis()));
+        assert!(json.contains("\"analysis\": {\"sweeps\": 3"));
+        assert!(json.contains("\"visit_ratio\": 8.00"));
+        // The analysis line adds no comparable row, so the gate result is
+        // unchanged: identical numbers still pass…
+        assert!(check_baseline(&rows(), &json, 0.15).is_ok());
+        // …and a regression still fails.
+        let mut slow = rows();
+        slow[1].queries_per_sec = 3000.0;
+        assert!(check_baseline(&slow, &json, 0.15).is_err());
+    }
+
+    #[test]
+    fn analysis_ratios() {
+        let a = analysis();
+        assert_eq!(a.visit_ratio(), 8.0);
+        assert_eq!(a.wall_speedup(), 4.0);
+    }
+
     #[test]
     fn json_round_trips_through_the_gate() {
-        let json = render_bench_json(&rows());
+        let json = render_bench_json(&rows(), None);
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"max_speedup\": 4.00"));
         // Identical numbers pass the gate.

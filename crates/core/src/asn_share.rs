@@ -3,16 +3,24 @@
 //! For each date and each ASN, the fraction of Russian Federation domains
 //! whose apex A records resolve into that ASN.
 
+use crate::engine::FrameObserver;
 use ruwhere_scan::DailySweep;
+use ruwhere_store::{Interner, InternerSnap, RecordView, SweepFrame};
 use ruwhere_types::{Asn, Date};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Longitudinal per-ASN share accumulator.
+///
+/// A domain counts toward every ASN any of its apex A records resolves
+/// into (split-hosted domains count in both, as in the paper's "domains
+/// resolving to Amazon's ASN").
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AsnShareSeries {
     days: BTreeMap<Date, BTreeMap<Asn, u64>>,
     totals: BTreeMap<Date, u64>,
+    scratch: BTreeMap<Asn, u64>,
+    scratch_total: u64,
 }
 
 impl AsnShareSeries {
@@ -21,26 +29,12 @@ impl AsnShareSeries {
         Self::default()
     }
 
-    /// Consume one sweep: a domain counts toward every ASN any of its apex
-    /// A records resolves into (split-hosted domains count in both, as in
-    /// the paper's "domains resolving to Amazon's ASN").
+    /// Consume one row-form sweep (columnarised through an ephemeral
+    /// interner; the fold itself is the [`FrameObserver`] impl).
     pub fn observe(&mut self, sweep: &DailySweep) {
-        let mut counts: BTreeMap<Asn, u64> = BTreeMap::new();
-        let mut total = 0u64;
-        for rec in &sweep.domains {
-            if rec.apex_addrs.is_empty() {
-                continue;
-            }
-            total += 1;
-            let mut asns: Vec<Asn> = rec.apex_addrs.iter().filter_map(|a| a.asn).collect();
-            asns.sort_unstable();
-            asns.dedup();
-            for a in asns {
-                *counts.entry(a).or_default() += 1;
-            }
-        }
-        self.days.insert(sweep.date, counts);
-        self.totals.insert(sweep.date, total);
+        let interner = Interner::new();
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
     }
 
     /// Number of domains in `asn` on `date`.
@@ -86,6 +80,33 @@ impl AsnShareSeries {
     /// Total resolving domains on `date`.
     pub fn total(&self, date: Date) -> Option<u64> {
         self.totals.get(&date).copied()
+    }
+}
+
+impl FrameObserver for AsnShareSeries {
+    fn begin_frame(&mut self, _frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.scratch.clear();
+        self.scratch_total = 0;
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, _snap: &InternerSnap<'_>) {
+        let apex = rec.apex_addrs();
+        if apex.is_empty() {
+            return;
+        }
+        self.scratch_total += 1;
+        let mut asns: Vec<Asn> = apex.asns().iter().filter_map(|a| *a).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        for a in asns {
+            *self.scratch.entry(a).or_default() += 1;
+        }
+    }
+
+    fn end_frame(&mut self, frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.days
+            .insert(frame.date, std::mem::take(&mut self.scratch));
+        self.totals.insert(frame.date, self.scratch_total);
     }
 }
 

@@ -7,7 +7,9 @@
 //! > the Russian Federation. Name service is similarly labeled based on
 //! > geolocating the authoritative name servers for the domain." — §3.1
 
+use crate::engine::FrameObserver;
 use ruwhere_scan::{DailySweep, DomainDay};
+use ruwhere_store::{CountrySym, Interner, InternerSnap, RecordView, SweepFrame, Sym};
 use ruwhere_types::{Country, Date, DomainName};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -49,6 +51,44 @@ impl Composition {
             _ => Composition::Partial,
         }
     }
+
+    /// Classify per-address country *symbols* — the frame-path twin of
+    /// [`Composition::classify`], deciding Russian-ness from the interner
+    /// snapshot instead of owned [`Country`] values.
+    pub fn classify_syms(countries: &[CountrySym], snap: &InternerSnap<'_>) -> Composition {
+        let mut russian = 0usize;
+        let mut other = 0usize;
+        for &c in countries {
+            if c.is_none() {
+                continue;
+            }
+            if snap.country_is_russia(c) {
+                russian += 1;
+            } else {
+                other += 1;
+            }
+        }
+        match (russian, other) {
+            (0, 0) => Composition::Unknown,
+            (_, 0) => Composition::Full,
+            (0, _) => Composition::Non,
+            _ => Composition::Partial,
+        }
+    }
+}
+
+/// Classify one frame record under `kind` (shared by the composition and
+/// transition observers so both use the exact same rule).
+pub fn classify_record_view(
+    kind: InfraKind,
+    rec: &RecordView<'_>,
+    snap: &InternerSnap<'_>,
+) -> Composition {
+    let addrs = match kind {
+        InfraKind::NameServers => rec.ns_addrs(),
+        InfraKind::Hosting => rec.apex_addrs(),
+    };
+    Composition::classify_syms(addrs.countries(), snap)
 }
 
 /// Which infrastructure the composition describes.
@@ -122,13 +162,30 @@ enum Filter {
 }
 
 impl Filter {
-    fn accepts(&self, domain: &DomainName, date: Date) -> bool {
-        match self {
-            Filter::All => true,
-            Filter::Static(set) => set.contains(domain),
-            Filter::Sanctions(list) => list.is_sanctioned(domain, date),
-        }
+    /// Resolve the filter for one frame into sorted symbols. `None`
+    /// accepts everything. Names absent from the interner cannot occur in
+    /// any record of the frame, so dropping them is exact.
+    fn resolve(&self, date: Date, snap: &InternerSnap<'_>) -> Option<Vec<Sym>> {
+        let mut syms: Vec<Sym> = match self {
+            Filter::All => return None,
+            Filter::Static(set) => set.iter().filter_map(|d| snap.name_sym(d)).collect(),
+            Filter::Sanctions(list) => list
+                .sanctioned_at(date)
+                .into_iter()
+                .filter_map(|d| snap.name_sym(d))
+                .collect(),
+        };
+        syms.sort_unstable();
+        Some(syms)
     }
+}
+
+/// Per-frame scratch for the observer hooks (reset at `begin_frame`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct FrameScratch {
+    counts: CompositionCounts,
+    /// Sorted accepted symbols; `None` means no filtering.
+    filter: Option<Vec<Sym>>,
 }
 
 /// A longitudinal composition accumulator. Feed it one [`DailySweep`] per
@@ -142,6 +199,7 @@ pub struct CompositionSeries {
     /// for these days are kept — the Figure-1 dip must stay visible — but
     /// [`CompositionSeries::imputed_at`] can substitute a recent full day.
     partial_days: BTreeSet<Date>,
+    scratch: FrameScratch,
 }
 
 impl CompositionSeries {
@@ -152,6 +210,7 @@ impl CompositionSeries {
             filter: Filter::All,
             days: BTreeMap::new(),
             partial_days: BTreeSet::new(),
+            scratch: FrameScratch::default(),
         }
     }
 
@@ -162,6 +221,7 @@ impl CompositionSeries {
             filter: Filter::Static(domains.into_iter().collect()),
             days: BTreeMap::new(),
             partial_days: BTreeSet::new(),
+            scratch: FrameScratch::default(),
         }
     }
 
@@ -173,6 +233,7 @@ impl CompositionSeries {
             filter: Filter::Sanctions(list),
             days: BTreeMap::new(),
             partial_days: BTreeSet::new(),
+            scratch: FrameScratch::default(),
         }
     }
 
@@ -189,21 +250,15 @@ impl CompositionSeries {
         Composition::classify(self.countries_of(rec))
     }
 
-    /// Consume one sweep.
+    /// Consume one row-form sweep.
+    ///
+    /// Compatibility path: columnarises the sweep through an ephemeral
+    /// interner and runs the exact same fold as the frame path, so both
+    /// entry points share one implementation.
     pub fn observe(&mut self, sweep: &DailySweep) {
-        let mut counts = CompositionCounts::default();
-        for rec in &sweep.domains {
-            if !self.filter.accepts(&rec.domain, sweep.date) {
-                continue;
-            }
-            counts.bump(self.classify_record(rec));
-        }
-        self.days.insert(sweep.date, counts);
-        if sweep.is_partial() {
-            self.partial_days.insert(sweep.date);
-        } else {
-            self.partial_days.remove(&sweep.date);
-        }
+        let interner = Interner::new();
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
     }
 
     /// Per-date counts, in date order.
@@ -260,6 +315,34 @@ impl CompositionSeries {
         let first = self.days.iter().next()?;
         let last = self.days.iter().next_back()?;
         Some(((*first.0, *first.1), (*last.0, *last.1)))
+    }
+}
+
+impl FrameObserver for CompositionSeries {
+    fn begin_frame(&mut self, frame: &SweepFrame, snap: &InternerSnap<'_>) {
+        self.scratch.counts = CompositionCounts::default();
+        self.scratch.filter = self.filter.resolve(frame.date, snap);
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, snap: &InternerSnap<'_>) {
+        if let Some(accepted) = &self.scratch.filter {
+            if accepted.binary_search(&rec.domain_sym()).is_err() {
+                return;
+            }
+        }
+        self.scratch
+            .counts
+            .bump(classify_record_view(self.kind, rec, snap));
+    }
+
+    fn end_frame(&mut self, frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.days.insert(frame.date, self.scratch.counts);
+        if frame.is_partial() {
+            self.partial_days.insert(frame.date);
+        } else {
+            self.partial_days.remove(&frame.date);
+        }
+        self.scratch.filter = None;
     }
 }
 

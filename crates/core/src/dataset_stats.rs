@@ -4,12 +4,17 @@
 //! > and 13.3 k and 9.5 k unique networks (AS numbers) that, respectively,
 //! > hosted domain apexes or authoritative DNS infrastructure."
 
+use crate::engine::FrameObserver;
 use ruwhere_scan::DailySweep;
+use ruwhere_store::{Interner, InternerSnap, RecordView, SweepFrame, SymSet};
 use ruwhere_types::{Asn, DomainName};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Accumulates unique names and networks across all sweeps.
+///
+/// One instance must be fed frames from **one** interner (the engine
+/// contract) — the symbol seen-set below pre-filters on that assumption.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DatasetStats {
     unique_domains: BTreeSet<DomainName>,
@@ -22,6 +27,13 @@ pub struct DatasetStats {
     servfails: u64,
     lame: u64,
     retries_spent: u64,
+    /// Domain symbols already folded into `unique_domains`: an O(1) bitset
+    /// pre-filter so the steady state (every domain seen on day one) skips
+    /// the tree insert entirely.
+    seen_syms: SymSet,
+    /// Interner behind the compatibility row path — persistent so symbols
+    /// stay stable across `observe` calls.
+    row_interner: Interner,
 }
 
 impl DatasetStats {
@@ -30,30 +42,13 @@ impl DatasetStats {
         Self::default()
     }
 
-    /// Consume one sweep.
+    /// Consume one row-form sweep (columnarised through the instance's own
+    /// persistent interner; the fold itself is the [`FrameObserver`] impl).
     pub fn observe(&mut self, sweep: &DailySweep) {
-        self.sweeps += 1;
-        if sweep.is_partial() {
-            self.partial_sweeps += 1;
-        }
-        self.timeouts += sweep.stats.timeouts;
-        self.servfails += sweep.stats.servfails;
-        self.lame += sweep.stats.lame;
-        self.retries_spent += sweep.stats.retries_spent;
-        for rec in &sweep.domains {
-            self.records += 1;
-            self.unique_domains.insert(rec.domain.clone());
-            for a in &rec.apex_addrs {
-                if let Some(asn) = a.asn {
-                    self.hosting_asns.insert(asn);
-                }
-            }
-            for a in &rec.ns_addrs {
-                if let Some(asn) = a.asn {
-                    self.dns_asns.insert(asn);
-                }
-            }
-        }
+        let interner = std::mem::take(&mut self.row_interner);
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
+        self.row_interner = interner;
     }
 
     /// Unique domain names ever observed (paper: 11.7 M).
@@ -105,6 +100,33 @@ impl DatasetStats {
     /// total wasted-query bill.
     pub fn retries_spent(&self) -> u64 {
         self.retries_spent
+    }
+}
+
+impl FrameObserver for DatasetStats {
+    fn begin_frame(&mut self, frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.sweeps += 1;
+        if frame.is_partial() {
+            self.partial_sweeps += 1;
+        }
+        self.timeouts += frame.stats.timeouts;
+        self.servfails += frame.stats.servfails;
+        self.lame += frame.stats.lame;
+        self.retries_spent += frame.stats.retries_spent;
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, snap: &InternerSnap<'_>) {
+        self.records += 1;
+        let sym = rec.domain_sym();
+        if self.seen_syms.insert(sym) {
+            self.unique_domains.insert(snap.name(sym).clone());
+        }
+        for asn in rec.apex_addrs().asns().iter().flatten() {
+            self.hosting_asns.insert(*asn);
+        }
+        for asn in rec.ns_addrs().asns().iter().flatten() {
+            self.dns_asns.insert(*asn);
+        }
     }
 }
 

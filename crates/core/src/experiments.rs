@@ -11,17 +11,20 @@ use crate::asn_share::AsnShareSeries;
 use crate::ca_issuance::CaIssuanceAnalysis;
 use crate::composition::{CompositionSeries, InfraKind};
 use crate::dataset_stats::DatasetStats;
+use crate::engine::AnalysisEngine;
 use crate::revocation::RevocationAnalysis;
 use crate::russian_ca::RussianCaAnalysis;
 use crate::tld_dependency::{TldDependencySeries, TldUsageSeries};
 use crate::transitions::TransitionFlows;
 use ruwhere_registry::SanctionsList;
 use ruwhere_scan::{
-    CertDataset, DailySweep, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner, SweepOptions,
+    CertDataset, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner, SweepOptions,
 };
+use ruwhere_store::{Interner, SweepFrame};
 use ruwhere_types::{Date, CERT_WINDOW_END, CERT_WINDOW_START};
 use ruwhere_world::{World, WorldConfig};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Measurement schedule and retention configuration.
 #[derive(Debug, Clone)]
@@ -123,8 +126,15 @@ pub struct StudyResults {
     pub tld_usage: TldUsageSeries,
     /// Figure 4: hosting ASN shares.
     pub asn_share: AsnShareSeries,
-    /// Retained sweeps for movement analysis (Figures 6, 7; §3.4).
-    pub retained: BTreeMap<Date, DailySweep>,
+    /// Retained sweep frames for movement analysis (Figures 6, 7; §3.4).
+    /// Columnar, metrics-stripped: symbols resolve via
+    /// [`StudyResults::interner`].
+    pub retained: BTreeMap<Date, SweepFrame>,
+    /// The study-wide symbol table every frame and observer shares.
+    pub interner: Arc<Interner>,
+    /// The single-pass engine's work counters (frames walked, record
+    /// visits, observer dispatches).
+    pub analysis: AnalysisEngine,
     /// §4 certificate dataset (CT index over the analysis window).
     pub certs: CertDataset,
     /// Figure 8 / Table 1 analysis.
@@ -148,13 +158,13 @@ pub struct StudyResults {
 }
 
 impl StudyResults {
-    /// The retained sweep at `date`, if any.
-    pub fn sweep_at(&self, date: Date) -> Option<&DailySweep> {
+    /// The retained sweep frame at `date`, if any.
+    pub fn sweep_at(&self, date: Date) -> Option<&SweepFrame> {
         self.retained.get(&date)
     }
 
-    /// The last retained sweep (study end).
-    pub fn final_sweep(&self) -> Option<&DailySweep> {
+    /// The last retained sweep frame (study end).
+    pub fn final_sweep(&self) -> Option<&SweepFrame> {
         self.retained.values().next_back()
     }
 }
@@ -173,13 +183,22 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
     let mut asn_share = AsnShareSeries::new();
     let mut dataset = DatasetStats::new();
     let mut transitions = TransitionFlows::new(InfraKind::NameServers);
-    let mut retained: BTreeMap<Date, DailySweep> = BTreeMap::new();
+    let mut retained: BTreeMap<Date, SweepFrame> = BTreeMap::new();
+    let mut engine = AnalysisEngine::new();
 
     let sweep_dates = cfg.sweep_dates();
     let first = sweep_dates.first().copied();
     let last = sweep_dates.last().copied();
-    let mut scanner =
-        OpenIntelScanner::with_options(&world, SweepOptions::new().workers(cfg.workers));
+    // One symbol table spans the whole study: the scanner interns into it
+    // (seeds first, then merged discoveries — DESIGN.md §10) and every
+    // observer reads from it.
+    let interner = Arc::new(Interner::new());
+    let mut scanner = OpenIntelScanner::with_options(
+        &world,
+        SweepOptions::new()
+            .workers(cfg.workers)
+            .interner(interner.clone()),
+    );
     let mut ip_scanner = IpScanner::new(&world);
     let mut ip_scans: Vec<IpScanSnapshot> = Vec::new();
     let mut scans_pending = cfg.ip_scans.clone();
@@ -197,17 +216,27 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
         // the timeline installs the fault into the network, the sweep
         // mostly times out, and the scanner salvages it as a partial
         // sweep. The dip emerges mechanically.
-        let sweep = scanner.sweep(&mut world);
-        ns_composition.observe(&sweep);
-        hosting_composition.observe(&sweep);
-        sanctioned_ns.observe(&sweep);
-        tld_dependency.observe(&sweep);
-        tld_usage.observe(&sweep);
-        asn_share.observe(&sweep);
-        dataset.observe(&sweep);
-        transitions.observe(&sweep);
+        let frame = scanner.sweep_frame(&mut world);
+        // One walk over the frame feeds every series (the old design made
+        // eight passes over cloned row data here).
+        engine.observe_frame(
+            &frame,
+            &interner,
+            &mut [
+                &mut ns_composition,
+                &mut hosting_composition,
+                &mut sanctioned_ns,
+                &mut tld_dependency,
+                &mut tld_usage,
+                &mut asn_share,
+                &mut dataset,
+                &mut transitions,
+            ],
+        );
         if cfg.retain.contains(&date) || first == Some(date) || last == Some(date) {
-            retained.insert(date, sweep);
+            // Movement analysis only needs the columns; the observability
+            // payload is rendered per sweep, not re-read later.
+            retained.insert(date, frame.strip_metrics());
         }
         if cfg.verbose && i % 25 == 0 {
             eprintln!(
@@ -238,6 +267,8 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
         tld_usage,
         asn_share,
         retained,
+        interner,
+        analysis: engine,
         certs,
         issuance,
         revocation,

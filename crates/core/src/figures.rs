@@ -295,7 +295,7 @@ pub fn movement_table(
 ) -> Option<(Table, MovementReport)> {
     let a = r.sweep_at(date_a)?;
     let b = r.sweep_at(date_b)?;
-    let report = MovementReport::analyze(a, b, asn);
+    let report = MovementReport::analyze_frames(a, b, asn, &r.interner);
     let mut t = Table::new(
         format!("{label}: movement in {asn} between {date_a} and {date_b} (paper: {paper})"),
         &["metric", "count", "pct of original"],
@@ -548,7 +548,7 @@ pub fn provider_actions_table(r: &StudyResults) -> Table {
         let (Some(a), Some(b)) = (r.sweep_at(start), r.sweep_at(end)) else {
             continue;
         };
-        let report = MovementReport::analyze(a, b, asn);
+        let report = MovementReport::analyze_frames(a, b, asn, &r.interner);
         let orig = report.original().max(1);
         let mut relocated = format!(
             "{} ({:.0}%)",
@@ -610,7 +610,7 @@ pub fn discussion_table(r: &StudyResults) -> Table {
         r.sweep_at(ruwhere_types::Date::from_ymd(2022, 3, 8)),
         r.final_sweep(),
     ) {
-        let sedo = MovementReport::analyze(a, b, Asn::SEDO);
+        let sedo = MovementReport::analyze_frames(a, b, Asn::SEDO, &r.interner);
         let moved = sedo.relocated() + sedo.lost();
         if moved > 0 {
             let recovered = 100.0 * sedo.relocated() as f64 / moved as f64;

@@ -24,6 +24,7 @@ pub mod asn_share;
 pub mod ca_issuance;
 pub mod composition;
 pub mod dataset_stats;
+pub mod engine;
 pub mod experiments;
 pub mod figures;
 pub mod movement;
@@ -38,6 +39,7 @@ pub use asn_share::AsnShareSeries;
 pub use ca_issuance::{CaIssuanceAnalysis, IssuanceTimeline, PeriodTable};
 pub use composition::{Composition, CompositionCounts, CompositionSeries, InfraKind};
 pub use dataset_stats::DatasetStats;
+pub use engine::{AnalysisEngine, FrameObserver};
 pub use experiments::{run_study, StudyConfig, StudyResults};
 pub use movement::{Movement, MovementReport};
 pub use plots::{gnuplot_script, PlotSpec};

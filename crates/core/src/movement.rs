@@ -11,9 +11,10 @@
 //!   Cisco's Whois API; our registry data plays that role).
 
 use ruwhere_scan::DailySweep;
+use ruwhere_store::{Interner, SweepFrame, Sym};
 use ruwhere_types::{Asn, DomainName};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 /// Where a domain that left went.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,47 +44,65 @@ pub struct MovementReport {
 
 impl MovementReport {
     /// Analyze movement for `asn` between `a` (earlier) and `b` (later).
+    ///
+    /// Row-form compatibility path: columnarises both sweeps through an
+    /// ephemeral interner and delegates to
+    /// [`MovementReport::analyze_frames`].
     pub fn analyze(a: &DailySweep, b: &DailySweep, asn: Asn) -> Self {
-        let asns_of = |sweep: &DailySweep| -> HashMap<DomainName, Vec<Asn>> {
-            sweep
-                .domains
-                .iter()
+        let interner = Interner::new();
+        let fa = SweepFrame::from_daily_sweep(a, &interner);
+        let fb = SweepFrame::from_daily_sweep(b, &interner);
+        Self::analyze_frames(&fa, &fb, asn, &interner)
+    }
+
+    /// Analyze movement for `asn` between frames `a` (earlier) and `b`
+    /// (later), both built by `interner`.
+    ///
+    /// The whole comparison runs on `u32` symbols; domain names are only
+    /// materialised (an `Arc` bump each) for the entries that make it into
+    /// the report.
+    pub fn analyze_frames(a: &SweepFrame, b: &SweepFrame, asn: Asn, interner: &Interner) -> Self {
+        let snap = interner.snapshot();
+        let asns_of = |frame: &SweepFrame| -> HashMap<Sym, Vec<Asn>> {
+            frame
+                .records()
                 .map(|rec| {
-                    let mut asns: Vec<Asn> = rec.apex_addrs.iter().filter_map(|x| x.asn).collect();
+                    let mut asns: Vec<Asn> =
+                        rec.apex_addrs().asns().iter().filter_map(|x| *x).collect();
                     asns.sort_unstable();
                     asns.dedup();
-                    (rec.domain.clone(), asns)
+                    (rec.domain_sym(), asns)
                 })
                 .collect()
         };
         let map_a = asns_of(a);
         let map_b = asns_of(b);
-        let seeds_a: HashSet<&DomainName> = map_a.keys().collect();
 
         let mut outcomes = BTreeMap::new();
-        for (domain, asns) in &map_a {
+        for (&sym, asns) in &map_a {
             if !asns.contains(&asn) {
                 continue;
             }
-            let outcome = match map_b.get(domain) {
+            let outcome = match map_b.get(&sym) {
                 None => Movement::Gone,
                 Some(asns_b) if asns_b.contains(&asn) => Movement::Remained,
                 Some(asns_b) if asns_b.is_empty() => Movement::Unresolved,
                 Some(asns_b) => Movement::RelocatedTo(asns_b.clone()),
             };
-            outcomes.insert(domain.clone(), outcome);
+            outcomes.insert(snap.name(sym).clone(), outcome);
         }
 
         let mut relocated_in = Vec::new();
         let mut newly_registered = Vec::new();
-        for (domain, asns_b) in &map_b {
-            if !asns_b.contains(&asn) || outcomes.contains_key(domain) {
+        for (&sym, asns_b) in &map_b {
+            if !asns_b.contains(&asn) {
                 continue;
             }
-            if seeds_a.contains(domain) {
-                relocated_in.push(domain.clone());
-            } else {
-                newly_registered.push(domain.clone());
+            match map_a.get(&sym) {
+                // In the ASN on date A too: already classified above.
+                Some(asns_a) if asns_a.contains(&asn) => {}
+                Some(_) => relocated_in.push(snap.name(sym).clone()),
+                None => newly_registered.push(snap.name(sym).clone()),
             }
         }
         relocated_in.sort();

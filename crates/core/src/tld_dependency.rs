@@ -7,20 +7,18 @@
 //! > we consider it partial, otherwise we consider it non Russian." — §3.1
 
 use crate::composition::{Composition, CompositionCounts};
+use crate::engine::FrameObserver;
 use ruwhere_scan::DailySweep;
+use ruwhere_store::{Interner, InternerSnap, RecordView, SweepFrame, TldSym};
 use ruwhere_types::Date;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-
-/// Whether a TLD string is a Russian Federation TLD.
-fn tld_is_russian(tld: &str) -> bool {
-    tld == "ru" || tld == "xn--p1ai"
-}
 
 /// Longitudinal full/partial/non series over NS-name TLDs (Figure 2).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TldDependencySeries {
     days: BTreeMap<Date, CompositionCounts>,
+    scratch: CompositionCounts,
 }
 
 impl TldDependencySeries {
@@ -29,32 +27,12 @@ impl TldDependencySeries {
         Self::default()
     }
 
-    /// Consume one sweep.
+    /// Consume one row-form sweep (columnarised through an ephemeral
+    /// interner; the fold itself is the [`FrameObserver`] impl).
     pub fn observe(&mut self, sweep: &DailySweep) {
-        let mut counts = CompositionCounts::default();
-        for rec in &sweep.domains {
-            let (mut ru, mut other) = (0usize, 0usize);
-            for ns in &rec.ns_names {
-                if tld_is_russian(ns.tld()) {
-                    ru += 1;
-                } else {
-                    other += 1;
-                }
-            }
-            let c = match (ru, other) {
-                (0, 0) => Composition::Unknown,
-                (_, 0) => Composition::Full,
-                (0, _) => Composition::Non,
-                _ => Composition::Partial,
-            };
-            match c {
-                Composition::Full => counts.full += 1,
-                Composition::Partial => counts.partial += 1,
-                Composition::Non => counts.non += 1,
-                Composition::Unknown => counts.unknown += 1,
-            }
-        }
-        self.days.insert(sweep.date, counts);
+        let interner = Interner::new();
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
     }
 
     /// Per-date counts in date order.
@@ -80,6 +58,39 @@ impl TldDependencySeries {
     }
 }
 
+impl FrameObserver for TldDependencySeries {
+    fn begin_frame(&mut self, _frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.scratch = CompositionCounts::default();
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, snap: &InternerSnap<'_>) {
+        let (mut ru, mut other) = (0usize, 0usize);
+        for &ns in rec.ns_name_syms() {
+            if snap.tld_is_russian(snap.tld_of(ns)) {
+                ru += 1;
+            } else {
+                other += 1;
+            }
+        }
+        let c = match (ru, other) {
+            (0, 0) => Composition::Unknown,
+            (_, 0) => Composition::Full,
+            (0, _) => Composition::Non,
+            _ => Composition::Partial,
+        };
+        match c {
+            Composition::Full => self.scratch.full += 1,
+            Composition::Partial => self.scratch.partial += 1,
+            Composition::Non => self.scratch.non += 1,
+            Composition::Unknown => self.scratch.unknown += 1,
+        }
+    }
+
+    fn end_frame(&mut self, frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.days.insert(frame.date, self.scratch);
+    }
+}
+
 /// Longitudinal per-TLD usage: for each date, how many domains delegate to
 /// at least one name server under each TLD (Figure 3 — shares can sum to
 /// more than 100 % because domains use multiple TLDs).
@@ -87,6 +98,10 @@ impl TldDependencySeries {
 pub struct TldUsageSeries {
     days: BTreeMap<Date, BTreeMap<String, u64>>,
     totals: BTreeMap<Date, u64>,
+    /// Per-frame counts keyed by TLD symbol; resolved to strings once at
+    /// `end_frame` instead of once per record.
+    scratch: BTreeMap<TldSym, u64>,
+    scratch_total: u64,
 }
 
 impl TldUsageSeries {
@@ -95,24 +110,12 @@ impl TldUsageSeries {
         Self::default()
     }
 
-    /// Consume one sweep.
+    /// Consume one row-form sweep (columnarised through an ephemeral
+    /// interner; the fold itself is the [`FrameObserver`] impl).
     pub fn observe(&mut self, sweep: &DailySweep) {
-        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-        let mut total = 0u64;
-        for rec in &sweep.domains {
-            if rec.ns_names.is_empty() {
-                continue;
-            }
-            total += 1;
-            let mut tlds: Vec<&str> = rec.ns_names.iter().map(|n| n.tld()).collect();
-            tlds.sort_unstable();
-            tlds.dedup();
-            for t in tlds {
-                *counts.entry(t.to_owned()).or_default() += 1;
-            }
-        }
-        self.days.insert(sweep.date, counts);
-        self.totals.insert(sweep.date, total);
+        let interner = Interner::new();
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
     }
 
     /// Distinct TLDs ever observed (the paper counts 270).
@@ -144,6 +147,38 @@ impl TldUsageSeries {
     /// All observed dates in order.
     pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
         self.days.keys().copied()
+    }
+}
+
+impl FrameObserver for TldUsageSeries {
+    fn begin_frame(&mut self, _frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.scratch.clear();
+        self.scratch_total = 0;
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, snap: &InternerSnap<'_>) {
+        let ns = rec.ns_name_syms();
+        if ns.is_empty() {
+            return;
+        }
+        self.scratch_total += 1;
+        let mut tlds: Vec<TldSym> = ns.iter().map(|&n| snap.tld_of(n)).collect();
+        tlds.sort_unstable();
+        tlds.dedup();
+        for t in tlds {
+            *self.scratch.entry(t).or_default() += 1;
+        }
+    }
+
+    fn end_frame(&mut self, frame: &SweepFrame, snap: &InternerSnap<'_>) {
+        let counts: BTreeMap<String, u64> = self
+            .scratch
+            .iter()
+            .map(|(&t, &n)| (snap.tld(t).to_owned(), n))
+            .collect();
+        self.days.insert(frame.date, counts);
+        self.totals.insert(frame.date, self.scratch_total);
+        self.scratch.clear();
     }
 }
 

@@ -6,25 +6,43 @@
 //! "many domains with name servers partially outside Russia clearly
 //! transition towards fully Russian" and the Netnod attribution in §3.2.
 
-use crate::composition::{Composition, CompositionSeries, InfraKind};
+use crate::composition::{classify_record_view, Composition, InfraKind};
+use crate::engine::FrameObserver;
 use ruwhere_scan::DailySweep;
-use ruwhere_types::{Date, DomainName};
+use ruwhere_store::{Interner, InternerSnap, RecordView, SweepFrame, Sym};
+use ruwhere_types::Date;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A directed composition transition.
 pub type Transition = (Composition, Composition);
 
+/// Sentinel in `prev_codes` for "not present in the previous sweep".
+const ABSENT: u8 = u8::MAX;
+
 /// Per-date transition counts plus appearance/disappearance tallies.
+///
+/// Cross-sweep state is symbol-indexed, so one instance must see frames
+/// from **one** interner (the engine contract); the row path keeps its
+/// own persistent interner for exactly that reason.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TransitionFlows {
     kind_series: Option<InfraKind>,
-    previous: HashMap<DomainName, Composition>,
+    /// Previous sweep's composition code per domain symbol ([`ABSENT`] if
+    /// the domain was not in that sweep), indexed by `Sym`.
+    prev_codes: Vec<u8>,
+    /// Symbols present in the previous sweep (for O(prev) clearing and the
+    /// disappearance count).
+    prev_syms: Vec<Sym>,
     prev_date: Option<Date>,
     /// date → (from, to) → count; only changed domains are recorded.
     flows: BTreeMap<Date, BTreeMap<(u8, u8), u64>>,
     appeared: BTreeMap<Date, u64>,
     disappeared: BTreeMap<Date, u64>,
+    /// Per-frame scratch: `(sym, code)` per record of the current frame.
+    cur: Vec<(Sym, u8)>,
+    /// Interner behind the compatibility row path.
+    row_interner: Interner,
 }
 
 fn code(c: Composition) -> u8 {
@@ -54,40 +72,14 @@ impl TransitionFlows {
         }
     }
 
-    /// Consume one sweep (call in date order).
+    /// Consume one row-form sweep, in date order (columnarised through the
+    /// instance's own persistent interner; the fold itself is the
+    /// [`FrameObserver`] impl).
     pub fn observe(&mut self, sweep: &DailySweep) {
-        let kind = self.kind_series.unwrap_or(InfraKind::NameServers);
-        let classifier = CompositionSeries::new(kind);
-        let mut current: HashMap<DomainName, Composition> =
-            HashMap::with_capacity(sweep.domains.len());
-        for rec in &sweep.domains {
-            current.insert(rec.domain.clone(), classifier.classify_record(rec));
-        }
-
-        if self.prev_date.is_some() {
-            let mut flows: BTreeMap<(u8, u8), u64> = BTreeMap::new();
-            let mut appeared = 0u64;
-            let mut disappeared = 0u64;
-            for (domain, &now) in &current {
-                match self.previous.get(domain) {
-                    Some(&before) if before != now => {
-                        *flows.entry((code(before), code(now))).or_default() += 1;
-                    }
-                    Some(_) => {}
-                    None => appeared += 1,
-                }
-            }
-            for domain in self.previous.keys() {
-                if !current.contains_key(domain) {
-                    disappeared += 1;
-                }
-            }
-            self.flows.insert(sweep.date, flows);
-            self.appeared.insert(sweep.date, appeared);
-            self.disappeared.insert(sweep.date, disappeared);
-        }
-        self.previous = current;
-        self.prev_date = Some(sweep.date);
+        let interner = std::mem::take(&mut self.row_interner);
+        let frame = SweepFrame::from_daily_sweep(sweep, &interner);
+        crate::engine::drive_one(self, &frame, &interner);
+        self.row_interner = interner;
     }
 
     /// Count of `from → to` transitions landing on `date`.
@@ -143,6 +135,60 @@ impl TransitionFlows {
     /// Dates with transition data (all but the first sweep).
     pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
         self.flows.keys().copied()
+    }
+}
+
+impl FrameObserver for TransitionFlows {
+    fn begin_frame(&mut self, _frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        self.cur.clear();
+    }
+
+    fn observe_record(&mut self, rec: &RecordView<'_>, snap: &InternerSnap<'_>) {
+        let kind = self.kind_series.unwrap_or(InfraKind::NameServers);
+        self.cur.push((
+            rec.domain_sym(),
+            code(classify_record_view(kind, rec, snap)),
+        ));
+    }
+
+    fn end_frame(&mut self, frame: &SweepFrame, _snap: &InternerSnap<'_>) {
+        if self.prev_date.is_some() {
+            let mut flows: BTreeMap<(u8, u8), u64> = BTreeMap::new();
+            let mut appeared = 0u64;
+            let mut matched = 0u64;
+            for &(sym, now) in &self.cur {
+                let before = self.prev_codes.get(sym.index()).copied().unwrap_or(ABSENT);
+                if before == ABSENT {
+                    appeared += 1;
+                } else {
+                    matched += 1;
+                    if before != now {
+                        *flows.entry((before, now)).or_default() += 1;
+                    }
+                }
+            }
+            // Each sweep holds one record per domain, so the previous
+            // domains not matched by the current sweep are exactly the
+            // disappearances.
+            let disappeared = self.prev_syms.len() as u64 - matched;
+            self.flows.insert(frame.date, flows);
+            self.appeared.insert(frame.date, appeared);
+            self.disappeared.insert(frame.date, disappeared);
+        }
+
+        for &sym in &self.prev_syms {
+            self.prev_codes[sym.index()] = ABSENT;
+        }
+        self.prev_syms.clear();
+        for &(sym, now) in &self.cur {
+            if self.prev_codes.len() <= sym.index() {
+                self.prev_codes.resize(sym.index() + 1, ABSENT);
+            }
+            self.prev_codes[sym.index()] = now;
+            self.prev_syms.push(sym);
+        }
+        self.prev_date = Some(frame.date);
+        self.cur.clear();
     }
 }
 

@@ -40,6 +40,7 @@ pub use openintel::{
     available_workers, AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner,
     SweepOptions, SweepStats, WORKERS_ENV,
 };
+pub use ruwhere_store::{Interner, RecordView, SweepFrame};
 pub use scanner::Scanner;
 pub use shard::ShardPlan;
 pub use whois::{ArrivalClassification, WhoisClient};

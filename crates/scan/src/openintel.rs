@@ -42,6 +42,19 @@
 //! lane times — the aggregate latency cost of the measurement), salvage
 //! classification runs post-merge on the merged counters, and the
 //! network's global clock advances to the deterministic maximum lane end.
+//!
+//! # The columnar data plane
+//!
+//! The engine's native output is a [`SweepFrame`] — the columnar
+//! (struct-of-arrays) sweep representation from [`ruwhere_store`] —
+//! built by [`OpenIntelScanner::sweep_frame`]. Symbol assignment follows
+//! the store's determinism rules: the full seed list is interned
+//! *serially, in zone-snapshot order, before any worker starts*, and
+//! names/countries discovered during measurement are interned by the
+//! sequential post-merge frame-build pass. [`OpenIntelScanner::sweep`]
+//! remains as the row-view entry point; it materialises the frame through
+//! [`SweepFrame::to_daily_sweep`], so both views are identical by
+//! construction.
 
 use crate::error::ScanError;
 use crate::metrics::{fail_key, keys, SweepMetrics};
@@ -54,119 +67,14 @@ use ruwhere_authdns::{
 use ruwhere_dns::{Name, RType};
 use ruwhere_netsim::{NetStats, Network, SimTime};
 use ruwhere_obs::Recorder;
-use ruwhere_types::{Asn, Country, Date, DomainName};
+use ruwhere_store::{FrameBuilder, Interner, SweepFrame};
+use ruwhere_types::{Date, DomainName};
 use ruwhere_world::World;
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-/// One resolved address with its measurement-time annotations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AddrInfo {
-    /// The address.
-    pub ip: Ipv4Addr,
-    /// Country per the geolocation snapshot in force on the sweep date.
-    pub country: Option<Country>,
-    /// Origin AS per BGP-derived data.
-    pub asn: Option<Asn>,
-}
-
-/// One domain's daily measurement record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DomainDay {
-    /// The measured domain.
-    pub domain: DomainName,
-    /// NS RRset targets (name-server host names).
-    pub ns_names: Vec<DomainName>,
-    /// Resolved, annotated name-server addresses.
-    pub ns_addrs: Vec<AddrInfo>,
-    /// Resolved, annotated apex A records.
-    pub apex_addrs: Vec<AddrInfo>,
-}
-
-impl DomainDay {
-    /// Whether any name server resolved.
-    pub fn has_ns_data(&self) -> bool {
-        !self.ns_addrs.is_empty()
-    }
-
-    /// Whether the apex resolved.
-    pub fn has_apex_data(&self) -> bool {
-        !self.apex_addrs.is_empty()
-    }
-}
-
-/// Whether a sweep's dataset is complete or was salvaged from a day of
-/// heavy measurement failure (an infrastructure outage, Figure-1 style).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Completeness {
-    /// The sweep resolved normally; failures are kept as unknown-bucket
-    /// records.
-    #[default]
-    Full,
-    /// The day's failure rate exceeded the salvage threshold: unresolved
-    /// records were dropped, leaving only what actually measured. The raw
-    /// daily total visibly dips — exactly how the real dataset records an
-    /// outage day.
-    Partial,
-}
-
-/// Aggregate counters for one sweep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SweepStats {
-    /// Domains seeded from the zone snapshots.
-    pub seeded: u64,
-    /// Domains with a fully failed NS resolution.
-    pub ns_failures: u64,
-    /// Domains with a failed apex resolution.
-    pub apex_failures: u64,
-    /// Total DNS queries emitted.
-    pub queries: u64,
-    /// Virtual (simulated) time the sweep took, in microseconds, summed
-    /// over every measurement lane — the latency cost of active
-    /// measurement at this scale (cf. the OpenINTEL infrastructure
-    /// paper's throughput engineering).
-    pub virtual_elapsed_us: u64,
-    /// Queries that timed out (per-cause failure accounting).
-    pub timeouts: u64,
-    /// Queries answered SERVFAIL.
-    pub servfails: u64,
-    /// Queries answered lamely.
-    pub lame: u64,
-    /// Failed exchanges charged to resolver retry budgets — the wasted
-    /// query cost of server misbehaviour during this sweep.
-    pub retries_spent: u64,
-    /// NS-target address lookups served from the shared sweep cache.
-    pub ns_cache_hits: u64,
-    /// NS-target address lookups that had to resolve (one per distinct
-    /// name-server host per sweep).
-    pub ns_cache_misses: u64,
-    /// Whether the sweep is full or a salvaged partial.
-    pub completeness: Completeness,
-}
-
-/// One day's complete measurement output.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DailySweep {
-    /// Sweep date.
-    pub date: Date,
-    /// Per-domain records (zone-snapshot order).
-    pub domains: Vec<DomainDay>,
-    /// Counters.
-    pub stats: SweepStats,
-    /// The sweep's observability section: per-cause latency histograms,
-    /// transport and resolver aggregates. Empty when the scanner ran with
-    /// [`SweepOptions::collect_metrics`]`(false)`; byte-identical for any
-    /// worker count otherwise (same contract as `stats`).
-    pub metrics: SweepMetrics,
-}
-
-impl DailySweep {
-    /// Whether this sweep was salvaged as partial (outage day).
-    pub fn is_partial(&self) -> bool {
-        self.stats.completeness == Completeness::Partial
-    }
-}
+pub use ruwhere_store::{AddrInfo, Completeness, DailySweep, DomainDay, SweepStats};
 
 /// Environment variable overriding the default sweep worker count.
 pub const WORKERS_ENV: &str = "RUWHERE_WORKERS";
@@ -203,6 +111,7 @@ pub struct SweepOptions {
     workers: usize,
     partial_threshold: f64,
     collect_metrics: bool,
+    interner: Option<Arc<Interner>>,
 }
 
 impl Default for SweepOptions {
@@ -213,12 +122,14 @@ impl Default for SweepOptions {
 
 impl SweepOptions {
     /// Defaults: [`available_workers`] workers (which honors
-    /// `RUWHERE_WORKERS`), a 0.5 salvage threshold, metrics on.
+    /// `RUWHERE_WORKERS`), a 0.5 salvage threshold, metrics on, and a
+    /// fresh private symbol interner.
     pub fn new() -> Self {
         SweepOptions {
             workers: available_workers(),
             partial_threshold: 0.5,
             collect_metrics: true,
+            interner: None,
         }
     }
 
@@ -243,6 +154,15 @@ impl SweepOptions {
     /// the overhead benchmark.
     pub fn collect_metrics(mut self, on: bool) -> Self {
         self.collect_metrics = on;
+        self
+    }
+
+    /// Share an existing symbol [`Interner`] with the scanner. A study
+    /// passes one interner to every scanner (and to the analysis engine)
+    /// so symbols stay comparable across days; when unset, the scanner
+    /// creates a private one.
+    pub fn interner(mut self, interner: Arc<Interner>) -> Self {
+        self.interner = Some(interner);
         self
     }
 }
@@ -532,6 +452,7 @@ pub struct OpenIntelScanner {
     resolver: IterativeResolver,
     opts: SweepOptions,
     ns_cache: NsCache,
+    interner: Arc<Interner>,
     total_queries: u64,
     /// Per-shard query counts of the most recent sweep. Deliberately a
     /// scanner-side diagnostic, NOT part of [`DailySweep`]: how queries
@@ -549,10 +470,15 @@ impl OpenIntelScanner {
 
     /// Build a scanner with explicit options.
     pub fn with_options(world: &World, opts: SweepOptions) -> Self {
+        let interner = opts
+            .interner
+            .clone()
+            .unwrap_or_else(|| Arc::new(Interner::new()));
         OpenIntelScanner {
             resolver: IterativeResolver::new(world.scanner_ip(), world.root_hints()),
             opts,
             ns_cache: NsCache::new(),
+            interner,
             total_queries: 0,
             last_shard_queries: Vec::new(),
         }
@@ -576,14 +502,30 @@ impl OpenIntelScanner {
         &self.ns_cache
     }
 
-    /// Run one full sweep at the world's current date.
+    /// The scanner's symbol interner (shared when
+    /// [`SweepOptions::interner`] supplied one).
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Run one full sweep at the world's current date and return the row
+    /// view — [`sweep_frame`](OpenIntelScanner::sweep_frame) materialised
+    /// through [`SweepFrame::to_daily_sweep`]. Byte-identical to the frame
+    /// by construction.
+    pub fn sweep(&mut self, world: &mut World) -> DailySweep {
+        self.sweep_frame(world).to_daily_sweep(&self.interner)
+    }
+
+    /// Run one full sweep at the world's current date, producing the
+    /// native columnar frame.
     ///
     /// Publishes fresh TLD zone snapshots (the daily zone transfer), clears
     /// resolver caches and rebinds the NS cache to the day (a new
-    /// measurement day re-observes everything), warms a prototype resolver
-    /// on the TLD cuts, then fans the seed list out over the worker pool
-    /// and merges shard outputs deterministically.
-    pub fn sweep(&mut self, world: &mut World) -> DailySweep {
+    /// measurement day re-observes everything), interns the seed list (in
+    /// zone-snapshot order — the symbol-determinism anchor), warms a
+    /// prototype resolver on the TLD cuts, then fans the seed list out
+    /// over the worker pool and merges shard outputs deterministically.
+    pub fn sweep_frame(&mut self, world: &mut World) -> SweepFrame {
         let date = world.today();
         let collect = self.opts.collect_metrics;
         world.publish_tld_zones();
@@ -592,6 +534,14 @@ impl OpenIntelScanner {
         self.resolver.clear_cache();
         self.ns_cache.begin_sweep(date);
         let seeds = world.seed_names();
+
+        // Symbol determinism rule 1: intern every seed serially, in
+        // zone-snapshot order, before any worker exists — domain symbols
+        // are a pure function of the zone snapshot, never of sharding or
+        // salvage.
+        for seed in &seeds {
+            self.interner.intern_name(seed);
+        }
 
         let mut stats = SweepStats {
             seeded: seeds.len() as u64,
@@ -753,34 +703,31 @@ impl OpenIntelScanner {
             }
         }
 
-        // Annotation pass (immutable world reads).
+        // Frame build: annotation pass (immutable world reads) fused with
+        // the columnar write. Runs sequentially over merged records in
+        // zone-snapshot order — symbol determinism rule 2: NS host names
+        // and countries first seen this sweep are interned here, never
+        // from inside a worker.
         let geo = world.geo().snapshot_at(date);
         let topo = world.network().topology();
-        let annotate = |ips: &[Ipv4Addr]| -> Vec<AddrInfo> {
-            ips.iter()
-                .map(|&ip| AddrInfo {
-                    ip,
-                    country: geo.and_then(|g| g.lookup(ip)),
-                    asn: topo.asn_of(ip),
-                })
-                .collect()
-        };
-        let domains = raw
-            .into_iter()
-            .map(|r| DomainDay {
-                ns_addrs: annotate(&r.ns_ips),
-                apex_addrs: annotate(&r.apex_ips),
-                domain: r.domain,
-                ns_names: r.ns_names,
-            })
-            .collect();
-
-        DailySweep {
-            date,
-            domains,
-            stats,
-            metrics: total_metrics,
+        let mut builder = FrameBuilder::new(date);
+        builder.reserve(raw.len());
+        for r in raw {
+            builder.begin_record(self.interner.intern_name(&r.domain));
+            for ns in &r.ns_names {
+                builder.push_ns_name(self.interner.intern_name(ns));
+            }
+            for &ip in &r.ns_ips {
+                let country = self.interner.intern_country(geo.and_then(|g| g.lookup(ip)));
+                builder.push_ns_addr(ip, country, topo.asn_of(ip));
+            }
+            for &ip in &r.apex_ips {
+                let country = self.interner.intern_country(geo.and_then(|g| g.lookup(ip)));
+                builder.push_apex_addr(ip, country, topo.asn_of(ip));
+            }
+            builder.end_record();
         }
+        builder.finish(stats, total_metrics)
     }
 
     /// Total queries the scanner has sent since construction (summed over
@@ -926,6 +873,40 @@ mod tests {
         // recorders) are equal too — and render to byte-identical JSON.
         assert_eq!(serial.metrics, parallel.metrics);
         assert_eq!(serial.metrics.render_json(), parallel.metrics.render_json());
+    }
+
+    #[test]
+    fn row_view_matches_native_frame() {
+        let sweep_of = |frame_path: bool| {
+            let mut world = World::new(WorldConfig::tiny());
+            let mut scanner = OpenIntelScanner::new(&world);
+            if frame_path {
+                let frame = scanner.sweep_frame(&mut world);
+                assert_eq!(frame.len() as u64, frame.stats.seeded);
+                frame.to_daily_sweep(scanner.interner())
+            } else {
+                scanner.sweep(&mut world)
+            }
+        };
+        assert_eq!(sweep_of(true), sweep_of(false));
+    }
+
+    #[test]
+    fn shared_interner_numbers_seeds_first() {
+        let mut world = World::new(WorldConfig::tiny());
+        let interner = Arc::new(Interner::new());
+        let mut scanner =
+            OpenIntelScanner::with_options(&world, SweepOptions::new().interner(interner.clone()));
+        let frame = scanner.sweep_frame(&mut world);
+        assert!(Arc::ptr_eq(scanner.interner(), &interner));
+        // Seeds occupy the first symbols in zone-snapshot order; NS hosts
+        // discovered during measurement come after.
+        let seeds = world.seed_names();
+        for (i, seed) in seeds.iter().enumerate() {
+            assert_eq!(interner.name_sym(seed), Some(ruwhere_store::Sym(i as u32)));
+        }
+        assert!(interner.names_len() > seeds.len());
+        assert_eq!(frame.domains.len() as u64, frame.stats.seeded);
     }
 
     #[test]

@@ -58,23 +58,25 @@ impl WhoisClient {
     /// Classify `arrivals` by whether WHOIS shows them registered strictly
     /// after `existed_before` (newly registered) or on/before it
     /// (preexisting, i.e. relocated in).
+    ///
+    /// Takes the arrival list by value: each name is *moved* into its
+    /// result bucket ([`DomainName`] is `Arc`-backed, so even the lookup
+    /// borrow costs nothing — no string is cloned here).
     pub fn classify_arrivals(
         &self,
         world: &mut World,
-        arrivals: &[DomainName],
+        arrivals: Vec<DomainName>,
         existed_before: Date,
     ) -> ArrivalClassification {
         let mut out = ArrivalClassification::default();
         for domain in arrivals {
-            match self.lookup(world, domain) {
-                Ok(rec) if rec.created > existed_before => {
-                    out.newly_registered.push(domain.clone())
-                }
-                Ok(_) => out.preexisting.push(domain.clone()),
+            match self.lookup(world, &domain) {
+                Ok(rec) if rec.created > existed_before => out.newly_registered.push(domain),
+                Ok(_) => out.preexisting.push(domain),
                 // NotFound (lapsed between sweeps) and transport failures
                 // alike: WHOIS could not confirm, so the name stays in
                 // the unknown bucket (the paper's footnote-10 handling).
-                Err(_) => out.unknown.push(domain.clone()),
+                Err(_) => out.unknown.push(domain),
             }
         }
         out
@@ -137,7 +139,7 @@ mod tests {
         let mut arrivals = old.clone();
         arrivals.extend(new.clone());
         arrivals.push("gone-away-domain.ru".parse().unwrap());
-        let classified = client.classify_arrivals(&mut world, &arrivals, t0);
+        let classified = client.classify_arrivals(&mut world, arrivals, t0);
         assert_eq!(classified.preexisting, old);
         assert_eq!(classified.newly_registered, new);
         assert_eq!(classified.unknown.len(), 1);

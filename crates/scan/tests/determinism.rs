@@ -8,9 +8,18 @@
 use proptest::prelude::*;
 use ruwhere_netsim::fault::{FaultWindow, LinkFault, ServerFault, ServerFaultMode};
 use ruwhere_netsim::SimTime;
-use ruwhere_scan::{DailySweep, OpenIntelScanner, SweepOptions};
+use ruwhere_scan::{DailySweep, OpenIntelScanner, SweepFrame, SweepOptions};
 use ruwhere_world::{ConflictEvent, FaultTarget, InfraFault, World, WorldConfig};
 use std::net::Ipv4Addr;
+
+/// One measured day in every representation the engine produces: the
+/// columnar frame, the interner's canonical symbol-table dump, and the
+/// row-form sweep derived from both.
+struct Measured {
+    frame: SweepFrame,
+    interner_dump: String,
+    daily: DailySweep,
+}
 
 /// A randomly drawn measurement day: worker count, background loss, and
 /// an active fault window (timeline infrastructure fault + direct server
@@ -70,7 +79,7 @@ fn arb_day() -> impl Strategy<Value = DaySpec> {
 }
 
 /// Sweep the spec's fault day with the given worker count.
-fn sweep_with_workers(spec: &DaySpec, workers: usize) -> DailySweep {
+fn sweep_with_workers(spec: &DaySpec, workers: usize) -> Measured {
     let mut cfg = WorldConfig::tiny();
     let fault_date = cfg.start.add_days(spec.fault_day_offset);
     cfg.extra_events.push((
@@ -104,7 +113,14 @@ fn sweep_with_workers(spec: &DaySpec, workers: usize) -> DailySweep {
 
     world.advance_to(fault_date);
     let mut scanner = OpenIntelScanner::with_options(&world, SweepOptions::new().workers(workers));
-    scanner.sweep(&mut world)
+    let frame = scanner.sweep_frame(&mut world);
+    let interner_dump = scanner.interner().dump();
+    let daily = frame.to_daily_sweep(scanner.interner());
+    Measured {
+        frame,
+        interner_dump,
+        daily,
+    }
 }
 
 proptest! {
@@ -117,6 +133,15 @@ proptest! {
     fn n_worker_sweep_is_byte_identical_to_serial(spec in arb_day()) {
         let serial = sweep_with_workers(&spec, 1);
         let sharded = sweep_with_workers(&spec, spec.workers);
+        // Symbol assignment is a pure function of the zone snapshot and
+        // the merged record order — never of the sharding (DESIGN.md
+        // §10), so the whole symbol table dumps byte-identically.
+        prop_assert_eq!(&serial.interner_dump, &sharded.interner_dump);
+        // And with identical symbol tables, the columnar frames (domain
+        // syms, offset columns, address/country/ASN columns) are equal
+        // wholesale.
+        prop_assert_eq!(&serial.frame, &sharded.frame);
+        let (serial, sharded) = (serial.daily, sharded.daily);
         prop_assert_eq!(serial.date, sharded.date);
         prop_assert_eq!(serial.stats, sharded.stats);
         prop_assert_eq!(serial.domains, sharded.domains);

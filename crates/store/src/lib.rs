@@ -1,0 +1,35 @@
+//! The measurement data plane shared by the sweep engine and every
+//! analysis.
+//!
+//! A five-year daily study is a fold over one record stream, but folding
+//! is only cheap if the stream is normalized once. This crate owns that
+//! normalization:
+//!
+//! - [`Interner`] assigns stable `u32` symbols ([`Sym`], [`TldSym`],
+//!   [`CountrySym`]) to domain names, name-server host names, TLDs and
+//!   countries. Assignment order is deterministic (zone-snapshot order for
+//!   seeds, merged-record order for everything discovered during a sweep),
+//!   so symbol tables are **byte-identical for any worker count** — the
+//!   same contract the sweep engine's counters obey.
+//! - [`SweepFrame`] is the columnar (struct-of-arrays) form of one daily
+//!   sweep: symbol columns plus offset-delimited address ranges, built
+//!   natively by the sweep engine and walked once per sweep by the
+//!   analysis engine.
+//! - [`DailySweep`]/[`DomainDay`] remain as the row-oriented view for
+//!   compatibility and human-facing code; [`SweepFrame::to_daily_sweep`] /
+//!   [`SweepFrame::from_daily_sweep`] convert losslessly.
+//! - [`SweepMetrics`] is the sweep's observability section (unchanged
+//!   semantics; it lives here because both representations carry it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod metrics;
+pub mod record;
+pub mod sym;
+
+pub use frame::{AddrColumns, AddrsView, FrameBuilder, RecordView, SweepFrame};
+pub use metrics::{fail_key, keys, SweepMetrics};
+pub use record::{AddrInfo, Completeness, DailySweep, DomainDay, SweepStats};
+pub use sym::{CountrySym, Interner, InternerSnap, Sym, SymSet, TldSym};

@@ -87,11 +87,12 @@ fn main() {
             world.advance_to(cfg.world.end);
             world.publish_tld_zones();
             let whois = WhoisClient::new(&world);
+            let total_arrivals = arrivals.len();
             let classified =
-                whois.classify_arrivals(&mut world, &arrivals, Date::from_ymd(2022, 3, 8));
+                whois.classify_arrivals(&mut world, arrivals, Date::from_ymd(2022, 3, 8));
             println!(
                 "WHOIS check of {} Amazon arrivals: {} newly registered, {} preexisting, {} unknown",
-                arrivals.len(),
+                total_arrivals,
                 classified.newly_registered.len(),
                 classified.preexisting.len(),
                 classified.unknown.len(),

@@ -36,20 +36,23 @@ pub use ruwhere_netsim as netsim;
 pub use ruwhere_obs as obs;
 pub use ruwhere_registry as registry;
 pub use ruwhere_scan as scan;
+pub use ruwhere_store as store;
 pub use ruwhere_types as types;
 pub use ruwhere_world as world;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use ruwhere_core::{
-        figures, run_study, AsnShareSeries, CaIssuanceAnalysis, Composition, CompositionSeries,
-        InfraKind, MovementReport, RevocationAnalysis, RussianCaAnalysis, Series, StudyConfig,
-        StudyResults, Table, TldDependencySeries, TldUsageSeries,
+        figures, run_study, AnalysisEngine, AsnShareSeries, CaIssuanceAnalysis, Composition,
+        CompositionSeries, FrameObserver, InfraKind, MovementReport, RevocationAnalysis,
+        RussianCaAnalysis, Series, StudyConfig, StudyResults, Table, TldDependencySeries,
+        TldUsageSeries,
     };
     pub use ruwhere_scan::{
         CertDataset, DailySweep, IpScanner, MatchRule, OpenIntelScanner, ScanError, Scanner,
         SweepMetrics, SweepOptions,
     };
+    pub use ruwhere_store::{Interner, SweepFrame};
     pub use ruwhere_types::{
         Asn, Country, Date, DomainName, Period, SeedTree, CONFLICT_START, SANCTIONS_EFFECT,
         STUDY_END, STUDY_START,

@@ -218,18 +218,16 @@ fn measurement_agrees_with_paper_structure() {
     assert!(r.asn_share.distinct_asns() > 10);
     assert!(r.tld_usage.distinct_tlds() > 10);
     let final_sweep = r.final_sweep().unwrap();
-    assert!(final_sweep.domains.iter().any(|d| d.domain.tld() == "ru"));
-    assert!(final_sweep
-        .domains
-        .iter()
-        .any(|d| d.domain.tld() == "xn--p1ai"));
+    let snap = r.interner.snapshot();
+    let tld_of = |rec: &ruwhere::store::RecordView<'_>| snap.tld(snap.tld_of(rec.domain_sym()));
+    assert!(final_sweep.records().any(|rec| tld_of(&rec) == "ru"));
+    assert!(final_sweep.records().any(|rec| tld_of(&rec) == "xn--p1ai"));
     // Resolution health.
     let resolved = final_sweep
-        .domains
-        .iter()
-        .filter(|d| d.has_ns_data())
+        .records()
+        .filter(|rec| rec.has_ns_data())
         .count();
-    assert!(resolved * 100 >= final_sweep.domains.len() * 90);
+    assert!(resolved * 100 >= final_sweep.len() * 90);
 }
 
 #[test]
