@@ -36,9 +36,15 @@
 //!   full symbol-table dump as one text file. Byte-identical for any
 //!   worker count — CI compares a 1-worker and a 4-worker report with
 //!   `cmp`. Composes with `--bench-sweep` and `--metrics`.
+//! * `--checkpoint-dir DIR`  persist one durable, checksummed segment per
+//!   sweep day to `DIR` (the flag beats the `RUWHERE_CHECKPOINT_DIR`
+//!   environment variable). Applies to the full study and to `--report`.
+//! * `--resume`  continue an interrupted checkpointed run from its last
+//!   valid segment; damaged tail segments are quarantined and reported.
+//!   The resumed run's output is byte-identical to an uninterrupted one.
 
 use ruwhere_core::figures;
-use ruwhere_core::{run_study, StudyConfig};
+use ruwhere_core::{run_study, try_run_study, StudyConfig, StudyResults};
 use ruwhere_types::{Asn, Date};
 use ruwhere_world::WorldConfig;
 use std::io::Write;
@@ -52,6 +58,8 @@ struct Args {
     check_baseline: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     report: Option<std::path::PathBuf>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +72,8 @@ fn parse_args() -> Args {
         check_baseline: None,
         metrics: None,
         report: None,
+        checkpoint_dir: ruwhere_scan::default_checkpoint_dir(),
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -104,6 +114,14 @@ fn parse_args() -> Args {
                         .into(),
                 );
             }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --checkpoint-dir"))
+                        .into(),
+                );
+            }
+            "--resume" => args.resume = true,
             "--out" => {
                 args.out = Some(
                     it.next()
@@ -125,9 +143,26 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--ablation-geolag]\n\
          \x20            [--bench-sweep FILE [--check-baseline BASELINE]]\n\
-         \x20            [--metrics FILE] [--report FILE]"
+         \x20            [--metrics FILE] [--report FILE]\n\
+         \x20            [--checkpoint-dir DIR] [--resume]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Run a study with the CLI's checkpoint knobs applied, turning every
+/// checkpoint-layer failure (unwritable directory, config mismatch,
+/// broken segment chain, clobber refusal) into a diagnostic and exit
+/// code 2 instead of a panic.
+fn run_study_checkpointed(mut cfg: StudyConfig, args: &Args) -> StudyResults {
+    cfg.checkpoint_dir = args.checkpoint_dir.clone();
+    cfg.resume = args.resume;
+    match try_run_study(&cfg) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Sweep-throughput benchmark mode: measure, write the artifact, and
@@ -215,13 +250,13 @@ fn run_metrics_export(out: &std::path::Path) {
 /// determinism contract makes the bytes independent of the worker count
 /// (`RUWHERE_WORKERS` honored) — CI renders a 1-worker and a 4-worker
 /// report and compares them with `cmp`.
-fn run_report_export(out: &std::path::Path) {
+fn run_report_export(out: &std::path::Path, args: &Args) {
     let cfg = ruwhere_bench::fixture_config();
     eprintln!(
         "report: running the pinned fixture study with {} workers…",
         cfg.workers
     );
-    let results = run_study(&cfg);
+    let results = run_study_checkpointed(cfg, args);
     let text = ruwhere_bench::render_report(&results);
     std::fs::write(out, &text).expect("write report artifact");
     eprintln!(
@@ -293,6 +328,9 @@ fn run_geolag_ablation(scale: usize) {
 
 fn main() {
     let args = parse_args();
+    if args.resume && args.checkpoint_dir.is_none() {
+        usage("--resume requires --checkpoint-dir DIR (or RUWHERE_CHECKPOINT_DIR)");
+    }
     // Artifact modes compose: any subset of --bench-sweep / --metrics /
     // --report runs in that order, then exits.
     let mut artifact_mode = false;
@@ -307,7 +345,7 @@ fn main() {
         artifact_mode = true;
     }
     if let Some(rp) = &args.report {
-        run_report_export(rp);
+        run_report_export(rp, &args);
         artifact_mode = true;
     }
     if artifact_mode {
@@ -337,7 +375,7 @@ fn main() {
         cfg.world.end
     );
     let t0 = std::time::Instant::now();
-    let results = run_study(&cfg);
+    let results = run_study_checkpointed(cfg, &args);
     eprintln!(
         "study complete in {:.1}s — {} sweeps, {} DNS queries, {} certs indexed",
         t0.elapsed().as_secs_f64(),

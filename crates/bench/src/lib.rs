@@ -43,11 +43,23 @@ fn bench_days() -> i32 {
 /// so bench numbers are comparable across runs; locally it shrinks the
 /// fixture for quick iterations.
 pub fn fixture_config() -> StudyConfig {
+    let days = std::env::var(BENCH_DAYS_ENV).is_ok().then(bench_days);
+    fixture_config_for_days(days)
+}
+
+/// [`fixture_config`] with the daily-window override passed explicitly
+/// instead of read from the environment — for harnesses (e.g. the crash
+/// harness) that pin `RUWHERE_BENCH_DAYS` on child processes and need
+/// the matching sweep schedule in-process.
+pub fn fixture_config_for_days(days: Option<i32>) -> StudyConfig {
     let mut cfg = StudyConfig::test_schedule();
     cfg.daily_from = Date::from_ymd(2022, 2, 20);
-    if std::env::var(BENCH_DAYS_ENV).is_ok() {
-        let days = bench_days();
-        cfg.daily_from = cfg.world.end.add_days(-(days - 1)).max(cfg.world.start);
+    if let Some(days) = days {
+        cfg.daily_from = cfg
+            .world
+            .end
+            .add_days(-(days.max(1) - 1))
+            .max(cfg.world.start);
     }
     cfg
 }

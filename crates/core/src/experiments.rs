@@ -20,10 +20,15 @@ use ruwhere_registry::SanctionsList;
 use ruwhere_scan::{
     CertDataset, IpScanSnapshot, IpScanner, MatchRule, OpenIntelScanner, SweepOptions,
 };
-use ruwhere_store::{Interner, SweepFrame};
+use ruwhere_store::checkpoint::fnv1a64;
+use ruwhere_store::{
+    CheckpointDir, CheckpointError, DayCheckpoint, Interner, InternerDelta, SweepFrame, TableSizes,
+};
 use ruwhere_types::{Date, CERT_WINDOW_END, CERT_WINDOW_START};
 use ruwhere_world::{World, WorldConfig};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Measurement schedule and retention configuration.
@@ -49,6 +54,18 @@ pub struct StudyConfig {
     pub workers: usize,
     /// Print progress to stderr.
     pub verbose: bool,
+    /// Directory to write (and resume from) durable day checkpoints.
+    /// `None` runs fully in-memory, as before.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoints in `checkpoint_dir`: salvage the
+    /// longest valid day prefix, replay it (interner, network clock,
+    /// analysis observers), and sweep live from the first missing day.
+    /// Without this flag a non-empty checkpoint directory is refused.
+    pub resume: bool,
+    /// Stop after processing this many study days (crash-harness knob:
+    /// simulates an interrupted run that wrote only a prefix of its
+    /// checkpoints). The analyses still finalize over what was processed.
+    pub stop_after_sweeps: Option<usize>,
 }
 
 impl StudyConfig {
@@ -76,6 +93,9 @@ impl StudyConfig {
             extra_sweeps: vec![Date::from_ymd(2021, 3, 22)],
             workers: ruwhere_scan::available_workers(),
             verbose: false,
+            checkpoint_dir: None,
+            resume: false,
+            stop_after_sweeps: None,
         }
     }
 
@@ -109,6 +129,50 @@ impl StudyConfig {
         dates.sort_unstable();
         dates.dedup();
         dates
+    }
+
+    /// FNV-1a fingerprint of everything that shapes measurement output:
+    /// the world configuration and the sweep/scan schedule. Stamped into
+    /// every checkpoint segment so a directory can only be resumed by the
+    /// same study. Deliberately EXCLUDES `workers` (output is
+    /// byte-identical for any worker count — a study checkpointed at 4
+    /// workers may resume at 1), `verbose`, and the checkpoint knobs
+    /// themselves.
+    pub fn fingerprint(&self) -> u64 {
+        let canon = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.world, self.daily_from, self.retain, self.ip_scans, self.extra_sweeps
+        );
+        fnv1a64(canon.as_bytes())
+    }
+}
+
+/// Why a checkpointed study run could not proceed. Validation problems
+/// (unwritable directory, mismatched config, refusing to clobber) are
+/// reported here — never as panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyError {
+    /// The checkpoint store failed (I/O, corruption beyond salvage,
+    /// config fingerprint mismatch).
+    Checkpoint(CheckpointError),
+    /// The study configuration is inconsistent with the on-disk state.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            StudyError::InvalidConfig(msg) => write!(f, "invalid study configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+impl From<CheckpointError> for StudyError {
+    fn from(e: CheckpointError) -> StudyError {
+        StudyError::Checkpoint(e)
     }
 }
 
@@ -169,8 +233,67 @@ impl StudyResults {
     }
 }
 
-/// Run the full study.
+/// Run the full study. Panics if a checkpointed run fails validation —
+/// use [`try_run_study`] when `checkpoint_dir` is set and errors should
+/// be reported instead.
 pub fn run_study(cfg: &StudyConfig) -> StudyResults {
+    // Infallible for non-checkpointed configs: every error path below
+    // starts at the checkpoint store.
+    try_run_study(cfg).unwrap_or_else(|e| panic!("study failed: {e}"))
+}
+
+/// Run the full study, durably checkpointing and/or resuming when
+/// [`StudyConfig::checkpoint_dir`] is set.
+///
+/// With a checkpoint directory, each study day is written as a
+/// checksummed segment after its sweep (frame + interner delta + network
+/// clock — see `ruwhere_store::checkpoint`). With `resume`, the longest
+/// valid prefix of segments is *replayed* instead of re-measured: the
+/// world advances through the same dates (re-running scheduled IP scans
+/// and zone publishes — both deterministic), the interner is re-primed
+/// delta by delta in original order (preserving the seeds-first
+/// symbol-assignment invariant), the network clock is restored day by
+/// day (fault windows anchor to the absolute clock), and every observer
+/// sees the checkpointed frames. A resumed run is therefore
+/// byte-identical — report and interner `dump()` — to an uninterrupted
+/// one, which the crash harness in `crates/bench` asserts.
+pub fn try_run_study(cfg: &StudyConfig) -> Result<StudyResults, StudyError> {
+    let store = match &cfg.checkpoint_dir {
+        Some(dir) => Some(CheckpointDir::open(dir)?),
+        None => None,
+    };
+    let fingerprint = cfg.fingerprint();
+    let mut replayed: Vec<DayCheckpoint> = Vec::new();
+    if let Some(store) = &store {
+        if cfg.resume {
+            let outcome = store.load(fingerprint)?;
+            for q in &outcome.quarantined {
+                eprintln!(
+                    "[study] quarantined damaged checkpoint segment {}: {}{}",
+                    q.original.display(),
+                    q.reason,
+                    q.moved_to
+                        .as_ref()
+                        .map(|m| format!(" (moved to {})", m.display()))
+                        .unwrap_or_default(),
+                );
+            }
+            replayed = outcome.days;
+            if cfg.verbose && !replayed.is_empty() {
+                eprintln!(
+                    "[study] resuming: replaying {} checkpointed day(s)",
+                    replayed.len()
+                );
+            }
+        } else if store.has_segments()? {
+            return Err(StudyError::InvalidConfig(format!(
+                "checkpoint directory {} already contains segments; \
+                 pass --resume to continue that run, or use a fresh directory",
+                store.path().display()
+            )));
+        }
+    }
+
     let mut world = World::new(cfg.world.clone());
     let sanctions = world.sanctions().clone();
 
@@ -204,9 +327,16 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
     let mut scans_pending = cfg.ip_scans.clone();
     scans_pending.sort();
 
+    // Queries accounted by replayed checkpoints (their sweeps ran in the
+    // interrupted process); added to the live scanner's own count so
+    // `total_queries` matches an uninterrupted run exactly.
+    let mut replayed_queries: u64 = 0;
     for (i, &date) in sweep_dates.iter().enumerate() {
         world.advance_to(date);
-        // Run any IP scans scheduled on or before this sweep date.
+        // Run any IP scans scheduled on or before this sweep date. These
+        // re-run during replay too — they are a deterministic function of
+        // the world, and the original run executed them at exactly this
+        // point in the sequence.
         while scans_pending.first().is_some_and(|d| *d <= date) {
             scans_pending.remove(0);
             ip_scans.push(ip_scanner.scan(&mut world));
@@ -216,7 +346,45 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
         // the timeline installs the fault into the network, the sweep
         // mostly times out, and the scanner salvages it as a partial
         // sweep. The dip emerges mechanically.
-        let frame = scanner.sweep_frame(&mut world);
+        let frame = match replayed.get(i) {
+            Some(ck) => {
+                if ck.date != date {
+                    return Err(StudyError::Checkpoint(CheckpointError::ChainBroken {
+                        detail: format!(
+                            "checkpoint day {i} is dated {}, but the schedule says {date} \
+                             — the directory belongs to a different study",
+                            ck.date
+                        ),
+                    }));
+                }
+                // Mirror the replaced sweep's world interactions, in
+                // order: it published the day's zone snapshots
+                // (idempotent), appended to the interner, and advanced
+                // the network clock to its slowest lane's end.
+                world.publish_tld_zones();
+                ck.interner.replay(&interner)?;
+                world.restore_net_clock_us(ck.net_clock_us);
+                replayed_queries += ck.frame.stats.queries;
+                ck.frame.clone()
+            }
+            None => {
+                let base = TableSizes::of(&interner);
+                let frame = scanner.sweep_frame(&mut world);
+                if let Some(store) = &store {
+                    store.write_day(
+                        &DayCheckpoint {
+                            day_index: i as u32,
+                            date,
+                            net_clock_us: world.network().now().as_micros(),
+                            interner: InternerDelta::capture(&interner, base),
+                            frame: frame.clone().strip_metrics(),
+                        },
+                        fingerprint,
+                    )?;
+                }
+                frame
+            }
+        };
         // One walk over the frame feeds every series (the old design made
         // eight passes over cloned row data here).
         engine.observe_frame(
@@ -243,8 +411,11 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
                 "[study] {date}  sweep {}/{}  queries so far: {}",
                 i + 1,
                 sweep_dates.len(),
-                scanner.queries_sent()
+                replayed_queries + scanner.queries_sent()
             );
+        }
+        if cfg.stop_after_sweeps.is_some_and(|n| i + 1 >= n) {
+            break;
         }
     }
 
@@ -259,7 +430,7 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
         .last()
         .map(|scan| RussianCaAnalysis::new(scan, &certs, &sanctions, cert_to));
 
-    StudyResults {
+    Ok(StudyResults {
         ns_composition,
         hosting_composition,
         sanctioned_ns,
@@ -277,9 +448,11 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
         sanctions,
         dataset,
         transitions,
-        total_queries: scanner.queries_sent(),
-        sweeps_run: sweep_dates.len(),
-    }
+        total_queries: replayed_queries + scanner.queries_sent(),
+        sweeps_run: cfg
+            .stop_after_sweeps
+            .map_or(sweep_dates.len(), |n| n.min(sweep_dates.len())),
+    })
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub use ca_issuance::{CaIssuanceAnalysis, IssuanceTimeline, PeriodTable};
 pub use composition::{Composition, CompositionCounts, CompositionSeries, InfraKind};
 pub use dataset_stats::DatasetStats;
 pub use engine::{AnalysisEngine, FrameObserver};
-pub use experiments::{run_study, StudyConfig, StudyResults};
+pub use experiments::{run_study, try_run_study, StudyConfig, StudyError, StudyResults};
 pub use movement::{Movement, MovementReport};
 pub use plots::{gnuplot_script, PlotSpec};
 pub use report::{format_count, format_pct, Series, Table};

@@ -1,0 +1,242 @@
+//! Resume byte-identity: an interrupted-then-resumed checkpointed study
+//! must be indistinguishable — interner `dump()`, retained frames,
+//! query totals, every rendered figure — from an uninterrupted run, for
+//! any interruption point and any worker count on either side of the
+//! interruption. The uninterrupted baseline runs at 1 worker; resumed
+//! runs draw 1, 2 or 4 (the workers-1-vs-N half of the contract).
+//!
+//! The in-process interruption knob is `StudyConfig::stop_after_sweeps`;
+//! the SIGKILL version of the same assertion lives in the crash harness
+//! (`crates/bench/tests/crash_recovery.rs`).
+
+use proptest::prelude::*;
+use ruwhere_core::experiments::{try_run_study, StudyConfig, StudyError, StudyResults};
+use ruwhere_core::figures;
+use ruwhere_core::AnalysisEngine;
+use ruwhere_store::{CheckpointError, SweepFrame};
+use ruwhere_types::Date;
+use ruwhere_world::WorldConfig;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// A five-day, all-daily shrink of the tiny-world study: long enough to
+/// have interesting interruption points, short enough for debug-profile
+/// proptest cases.
+fn shrunk_config(workers: usize) -> StudyConfig {
+    let mut world = WorldConfig::tiny();
+    world.start = Date::from_ymd(2022, 3, 1);
+    world.end = Date::from_ymd(2022, 3, 5);
+    let mut cfg = StudyConfig::paper_schedule(world);
+    cfg.daily_from = cfg.world.start;
+    cfg.retain = vec![Date::from_ymd(2022, 3, 2)];
+    cfg.ip_scans = vec![Date::from_ymd(2022, 3, 3)];
+    cfg.extra_sweeps.clear();
+    cfg.workers = workers;
+    cfg
+}
+
+/// Everything the byte-identity oracle compares.
+struct Snapshot {
+    dump: String,
+    retained: BTreeMap<Date, SweepFrame>,
+    total_queries: u64,
+    sweeps_run: usize,
+    engine: AnalysisEngine,
+    fig1: String,
+    dataset: String,
+}
+
+fn snapshot(r: &StudyResults) -> Snapshot {
+    Snapshot {
+        dump: r.interner.dump(),
+        retained: r.retained.clone(),
+        total_queries: r.total_queries,
+        sweeps_run: r.sweeps_run,
+        engine: r.analysis.clone(),
+        fig1: figures::fig1_series(r).render(),
+        dataset: figures::dataset_table(r).render(),
+    }
+}
+
+/// The uninterrupted, checkpoint-free baseline at 1 worker.
+fn baseline() -> &'static Snapshot {
+    static BASE: OnceLock<Snapshot> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let r = try_run_study(&shrunk_config(1)).expect("baseline study");
+        snapshot(&r)
+    })
+}
+
+fn assert_matches_baseline(r: &StudyResults, context: &str) {
+    let base = baseline();
+    let got = snapshot(r);
+    assert_eq!(got.dump, base.dump, "{context}: interner dump diverged");
+    assert_eq!(
+        got.retained, base.retained,
+        "{context}: retained frames diverged"
+    );
+    assert_eq!(
+        got.total_queries, base.total_queries,
+        "{context}: query totals diverged"
+    );
+    assert_eq!(got.sweeps_run, base.sweeps_run, "{context}: sweep count");
+    assert_eq!(got.engine, base.engine, "{context}: engine counters");
+    assert_eq!(got.fig1, base.fig1, "{context}: Figure 1 render diverged");
+    assert_eq!(got.dataset, base.dataset, "{context}: dataset table");
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruwhere-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn segment_count(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Interrupt after 1–4 of the 5 study days at one worker count,
+    /// resume at another: report-level output is byte-identical to the
+    /// uninterrupted 1-worker baseline.
+    #[test]
+    fn interrupted_resumed_run_is_byte_identical(
+        stop in 1usize..5,
+        w_interrupt_idx in 0usize..3,
+        w_resume_idx in 0usize..3,
+    ) {
+        let pool = [1usize, 2, 4];
+        let (w_int, w_res) = (pool[w_interrupt_idx], pool[w_resume_idx]);
+        let dir = tmp_dir(&format!("prop-{stop}-{w_int}-{w_res}"));
+
+        let mut interrupted = shrunk_config(w_int);
+        interrupted.checkpoint_dir = Some(dir.clone());
+        interrupted.stop_after_sweeps = Some(stop);
+        let partial = try_run_study(&interrupted).expect("interrupted run");
+        prop_assert_eq!(partial.sweeps_run, stop);
+        prop_assert_eq!(segment_count(&dir), stop);
+
+        let mut resumed = shrunk_config(w_res);
+        resumed.checkpoint_dir = Some(dir.clone());
+        resumed.resume = true;
+        let full = try_run_study(&resumed).expect("resumed run");
+        assert_matches_baseline(
+            &full,
+            &format!("stop={stop} workers {w_int}->{w_res}"),
+        );
+        prop_assert_eq!(segment_count(&dir), 5, "resume must complete the chain");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A corrupted mid-chain segment is quarantined (typed, reported), the
+/// valid prefix is salvaged, and the resumed run — re-measuring from the
+/// first quarantined day — still matches the baseline byte-for-byte.
+#[test]
+fn corrupted_segment_is_quarantined_and_resume_still_matches() {
+    let dir = tmp_dir("corrupt");
+    let mut interrupted = shrunk_config(2);
+    interrupted.checkpoint_dir = Some(dir.clone());
+    interrupted.stop_after_sweeps = Some(3);
+    try_run_study(&interrupted).expect("interrupted run");
+
+    // Flip one bit in the middle segment of days 0..3.
+    let victim = dir.join("day-000001.ckpt");
+    let mut bytes = std::fs::read(&victim).expect("read segment");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&victim, &bytes).expect("rewrite segment");
+
+    let mut resumed = shrunk_config(1);
+    resumed.checkpoint_dir = Some(dir.clone());
+    resumed.resume = true;
+    let full = try_run_study(&resumed).expect("resume after corruption");
+    assert_matches_baseline(&full, "corrupted day 1");
+
+    // Day 1 (damaged) and day 2 (chained after it) were renamed aside.
+    assert!(dir.join("day-000001.ckpt.quarantined").exists());
+    assert!(dir.join("day-000002.ckpt.quarantined").exists());
+    // The resume rewrote the re-measured days durably.
+    assert_eq!(segment_count(&dir), 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Refusing to clobber: pointing a non-resume checkpointed run at a
+/// directory that already holds segments is a typed validation error.
+#[test]
+fn non_resume_run_refuses_nonempty_directory() {
+    let dir = tmp_dir("clobber");
+    let mut first = shrunk_config(1);
+    first.checkpoint_dir = Some(dir.clone());
+    first.stop_after_sweeps = Some(1);
+    try_run_study(&first).expect("first run");
+
+    let mut second = shrunk_config(1);
+    second.checkpoint_dir = Some(dir.clone());
+    match try_run_study(&second) {
+        Err(StudyError::InvalidConfig(msg)) => {
+            assert!(
+                msg.contains("--resume"),
+                "message should mention --resume: {msg}"
+            )
+        }
+        other => panic!(
+            "expected InvalidConfig, got {:?}",
+            other.map(|r| r.sweeps_run)
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming with a differently-configured study is a hard config
+/// mismatch — the directory is not silently re-measured or clobbered.
+#[test]
+fn mismatched_config_is_a_hard_error() {
+    let dir = tmp_dir("mismatch");
+    let mut first = shrunk_config(1);
+    first.checkpoint_dir = Some(dir.clone());
+    first.stop_after_sweeps = Some(1);
+    try_run_study(&first).expect("first run");
+
+    let mut other = shrunk_config(1);
+    other.world.seed ^= 1;
+    other.checkpoint_dir = Some(dir.clone());
+    other.resume = true;
+    match try_run_study(&other) {
+        Err(StudyError::Checkpoint(CheckpointError::ConfigMismatch { .. })) => {}
+        other => panic!(
+            "expected ConfigMismatch, got {:?}",
+            other.map(|r| r.sweeps_run)
+        ),
+    }
+    // The foreign run's segment is untouched.
+    assert_eq!(segment_count(&dir), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unwritable checkpoint path is a typed validation error before any
+/// sweeping starts.
+#[test]
+fn unwritable_checkpoint_dir_is_a_typed_error() {
+    let dir = tmp_dir("unwritable");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("occupied");
+    std::fs::write(&file, b"x").expect("write");
+    let mut cfg = shrunk_config(1);
+    cfg.checkpoint_dir = Some(file.join("nested"));
+    match try_run_study(&cfg) {
+        Err(StudyError::Checkpoint(CheckpointError::Io { .. })) => {}
+        other => panic!("expected Io error, got {:?}", other.map(|r| r.sweeps_run)),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

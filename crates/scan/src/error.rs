@@ -42,6 +42,11 @@ pub enum ScanError {
     /// The service answered authoritatively that the object does not
     /// exist (WHOIS: unregistered domain). Not an infrastructure failure.
     NotFound,
+    /// The shard worker measuring this domain panicked (twice — the
+    /// supervisor retries a lost shard once before recording the gap).
+    /// The domain's measurements for the day are lost, not failed: the
+    /// record degrades into the gap-aware partial-sweep salvage path.
+    WorkerLost,
 }
 
 impl ScanError {
@@ -60,6 +65,7 @@ impl ScanError {
             ScanError::Unreachable => "unreachable",
             ScanError::BadPayload(_) => "bad_payload",
             ScanError::NotFound => "not_found",
+            ScanError::WorkerLost => "worker_lost",
         }
     }
 
@@ -85,6 +91,7 @@ impl fmt::Display for ScanError {
             ScanError::Unreachable => write!(f, "no route to target"),
             ScanError::BadPayload(e) => write!(f, "malformed payload: {e}"),
             ScanError::NotFound => write!(f, "object does not exist"),
+            ScanError::WorkerLost => write!(f, "shard worker lost (panicked)"),
         }
     }
 }
@@ -130,6 +137,7 @@ mod tests {
             ScanError::Unreachable,
             ScanError::BadPayload("x".into()),
             ScanError::NotFound,
+            ScanError::WorkerLost,
         ];
         let cats: std::collections::HashSet<_> = all.iter().map(|e| e.category()).collect();
         assert_eq!(cats.len(), all.len(), "categories must be distinct");

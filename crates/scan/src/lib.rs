@@ -37,8 +37,8 @@ pub use error::ScanError;
 pub use metrics::SweepMetrics;
 pub use nscache::NsCache;
 pub use openintel::{
-    available_workers, AddrInfo, Completeness, DailySweep, DomainDay, OpenIntelScanner,
-    SweepOptions, SweepStats, WORKERS_ENV,
+    available_workers, default_checkpoint_dir, AddrInfo, Completeness, DailySweep, DomainDay,
+    OpenIntelScanner, SweepOptions, SweepStats, CHECKPOINT_DIR_ENV, WORKERS_ENV,
 };
 pub use ruwhere_store::{Interner, RecordView, SweepFrame};
 pub use scanner::Scanner;

@@ -79,6 +79,22 @@ pub use ruwhere_store::{AddrInfo, Completeness, DailySweep, DomainDay, SweepStat
 /// Environment variable overriding the default sweep worker count.
 pub const WORKERS_ENV: &str = "RUWHERE_WORKERS";
 
+/// Environment variable supplying a default study checkpoint directory
+/// (same precedence shape as [`WORKERS_ENV`]: an explicit
+/// `--checkpoint-dir` flag beats the variable; a missing or empty
+/// variable means no checkpointing).
+pub const CHECKPOINT_DIR_ENV: &str = "RUWHERE_CHECKPOINT_DIR";
+
+/// The checkpoint directory named by [`CHECKPOINT_DIR_ENV`], if the
+/// variable is set and non-empty.
+pub fn default_checkpoint_dir() -> Option<std::path::PathBuf> {
+    std::env::var(CHECKPOINT_DIR_ENV)
+        .ok()
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
 /// Default worker count.
 ///
 /// Precedence (documented in DESIGN.md §9): an explicit
@@ -112,6 +128,32 @@ pub struct SweepOptions {
     partial_threshold: f64,
     collect_metrics: bool,
     interner: Option<Arc<Interner>>,
+    panic_inject: Option<PanicInject>,
+}
+
+/// Deterministic worker-panic injection (crash-harness knob): panic
+/// inside [`measure_domain`] for domains whose name contains `marker`,
+/// at most `budget` times across the scanner's lifetime.
+#[derive(Debug, Clone)]
+struct PanicInject {
+    marker: String,
+    budget: Arc<std::sync::atomic::AtomicU32>,
+}
+
+impl PanicInject {
+    fn maybe_panic(&self, domain: &DomainName) {
+        use std::sync::atomic::Ordering;
+        if !self.marker.is_empty() && !domain.to_string().contains(&self.marker) {
+            return;
+        }
+        if self
+            .budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected worker panic while measuring {domain}");
+        }
+    }
 }
 
 impl Default for SweepOptions {
@@ -130,6 +172,7 @@ impl SweepOptions {
             partial_threshold: 0.5,
             collect_metrics: true,
             interner: None,
+            panic_inject: None,
         }
     }
 
@@ -163,6 +206,20 @@ impl SweepOptions {
     /// creates a private one.
     pub fn interner(mut self, interner: Arc<Interner>) -> Self {
         self.interner = Some(interner);
+        self
+    }
+
+    /// Crash-injection knob: make the worker measuring any domain whose
+    /// name contains `marker` panic, at most `times` times over the
+    /// scanner's lifetime (an empty marker matches every domain). Drives
+    /// the panic-isolation tests and the crash harness; panicked shards
+    /// are retried once by the supervisor and degrade into a gap-aware
+    /// partial sweep if lost for good — the study never aborts.
+    pub fn inject_worker_panic(mut self, marker: &str, times: u32) -> Self {
+        self.panic_inject = Some(PanicInject {
+            marker: marker.to_owned(),
+            budget: Arc::new(std::sync::atomic::AtomicU32::new(times)),
+        });
         self
     }
 }
@@ -230,6 +287,7 @@ struct SweepCtx<'a> {
     cache: &'a NsCache,
     date: Date,
     collect: bool,
+    panic_inject: Option<&'a PanicInject>,
 }
 
 /// The sweep's [`NsDependencyCache`] implementation: routes the
@@ -342,6 +400,9 @@ fn measure_domain(
     tally: &mut Tally,
     metrics: &mut SweepMetrics,
 ) -> Raw {
+    if let Some(inject) = ctx.panic_inject {
+        inject.maybe_panic(domain);
+    }
     let mut lane = ctx.net.lane(&format!("{}/{}", ctx.date, domain));
     let mut resolver = ctx.primed.fork();
     if ctx.collect {
@@ -443,6 +504,41 @@ fn measure_domain(
         ns_ips,
         apex_ips,
     }
+}
+
+/// Degrade a twice-panicked shard into gap records: every domain in the
+/// range becomes an empty [`Raw`] counted as an NS *and* apex failure
+/// under the `worker_lost` cause, feeding the same per-cause salvage
+/// path an outage day uses. Whatever the dead worker had measured is
+/// gone — the gap is explicit, never silently half-reported.
+fn lost_shard_output(
+    range: std::ops::Range<usize>,
+    seeds: &[DomainName],
+    collect: bool,
+) -> (Vec<Raw>, Tally, SweepMetrics) {
+    let mut tally = Tally::default();
+    let mut metrics = SweepMetrics::default();
+    let mut raws = Vec::with_capacity(range.len());
+    let lost_key = fail_key(ScanError::WorkerLost.category());
+    for idx in range {
+        tally.ns_failures += 1;
+        tally.apex_failures += 1;
+        if collect {
+            // No lane ran for this record: the loss is an accounting
+            // event, recorded at zero virtual time.
+            metrics.causes.record(lost_key, 0);
+        }
+        raws.push(Raw {
+            domain: seeds[idx].clone(),
+            ns_names: Vec::new(),
+            ns_ips: Vec::new(),
+            apex_ips: Vec::new(),
+        });
+    }
+    if collect {
+        metrics.causes.add(keys::DOMAINS_LOST, raws.len() as u64);
+    }
+    (raws, tally, metrics)
 }
 
 /// The sweep engine. Owns the prototype resolver, the worker-count knob
@@ -604,6 +700,12 @@ impl OpenIntelScanner {
         // in shard order (= zone-snapshot order). Each worker carries its
         // own tally AND its own metric section; both merge associatively,
         // so the merged metrics are byte-identical for any worker count.
+        //
+        // Workers are panic-isolated: a panicked shard is detected at the
+        // supervised join (no `.expect` abort), retried once inline, and
+        // — if it panics again — degraded into per-domain `worker_lost`
+        // gap records that flow into the partial-sweep salvage path
+        // below. A worker bug costs records, never the whole study.
         let plan = ShardPlan::new(seeds.len(), self.opts.workers);
         let ctx = SweepCtx {
             net: world.network(),
@@ -611,37 +713,69 @@ impl OpenIntelScanner {
             cache: &self.ns_cache,
             date,
             collect,
+            panic_inject: self.opts.panic_inject.as_ref(),
         };
         let ctx_ref = &ctx;
         let seeds_ref = &seeds;
-        let shard_outputs: Vec<(Vec<Raw>, Tally, SweepMetrics)> = crossbeam::thread::scope(|s| {
+        let run_range = |range: std::ops::Range<usize>| {
+            let mut tally = Tally::default();
+            let mut metrics = SweepMetrics::default();
+            let mut raws = Vec::with_capacity(range.len());
+            for idx in range {
+                raws.push(measure_domain(
+                    &seeds_ref[idx],
+                    ctx_ref,
+                    &mut tally,
+                    &mut metrics,
+                ));
+            }
+            (raws, tally, metrics)
+        };
+        let run_range = &run_range;
+        type ShardResult = Result<(Vec<Raw>, Tally, SweepMetrics), std::ops::Range<usize>>;
+        let joined: Vec<ShardResult> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = plan
                 .ranges()
                 .iter()
                 .cloned()
-                .map(|range| {
-                    s.spawn(move |_| {
-                        let mut tally = Tally::default();
-                        let mut metrics = SweepMetrics::default();
-                        let mut raws = Vec::with_capacity(range.len());
-                        for idx in range {
-                            raws.push(measure_domain(
-                                &seeds_ref[idx],
-                                ctx_ref,
-                                &mut tally,
-                                &mut metrics,
-                            ));
-                        }
-                        (raws, tally, metrics)
-                    })
-                })
+                .map(|range| (range.clone(), s.spawn(move |_| run_range(range))))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
+                .map(|(range, h)| h.join().map_err(|_| range))
                 .collect()
         })
-        .expect("sweep worker pool");
+        // `scope` only errs when an *unjoined* thread panicked; every
+        // handle above is joined, but degrade rather than abort anyway.
+        .unwrap_or_else(|_| plan.ranges().iter().cloned().map(Err).collect());
+
+        let mut shard_outputs: Vec<(Vec<Raw>, Tally, SweepMetrics)> =
+            Vec::with_capacity(joined.len());
+        for res in joined {
+            match res {
+                Ok(out) => shard_outputs.push(out),
+                Err(range) => {
+                    // Supervisor: re-run the lost shard once, inline.
+                    // Per-domain lanes make the re-run deterministic;
+                    // only NS-cache cost accounting can differ (entries
+                    // the dead worker filled stay filled, their cost
+                    // charged to no one).
+                    let retried = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_range(range.clone())
+                    }));
+                    match retried {
+                        Ok(out) => {
+                            stats.shards_retried += 1;
+                            shard_outputs.push(out);
+                        }
+                        Err(_) => {
+                            stats.shards_lost += 1;
+                            shard_outputs.push(lost_shard_output(range, seeds_ref, collect));
+                        }
+                    }
+                }
+            }
+        }
 
         self.last_shard_queries = shard_outputs.iter().map(|(_, t, _)| t.queries).collect();
         let mut raw: Vec<Raw> = Vec::with_capacity(seeds.len());
@@ -688,6 +822,16 @@ impl OpenIntelScanner {
                 keys::SALVAGE_NS_FAILURE_PPM,
                 stats.ns_failures * 1_000_000 / stats.seeded,
             );
+        }
+        if collect && stats.shards_retried > 0 {
+            total_metrics
+                .causes
+                .add(keys::SHARDS_RETRIED, stats.shards_retried);
+        }
+        if collect && stats.shards_lost > 0 {
+            total_metrics
+                .causes
+                .add(keys::SHARDS_LOST, stats.shards_lost);
         }
         if stats.seeded > 0
             && stats.ns_failures as f64 / stats.seeded as f64 > self.opts.partial_threshold
@@ -907,6 +1051,80 @@ mod tests {
         }
         assert!(interner.names_len() > seeds.len());
         assert_eq!(frame.domains.len() as u64, frame.stats.seeded);
+    }
+
+    /// Run `f` with the default panic hook silenced, so deliberately
+    /// injected worker panics don't spray backtraces over test output.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        static QUIET: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = QUIET.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicked_shard_is_retried_and_sweep_recovers() {
+        let sweep = with_quiet_panics(|| {
+            let mut world = World::new(WorldConfig::tiny());
+            // One injected panic: the worker dies, the supervisor's
+            // single retry succeeds, and the sweep completes fully.
+            let mut scanner = OpenIntelScanner::with_options(
+                &world,
+                SweepOptions::new().workers(2).inject_worker_panic("", 1),
+            );
+            scanner.sweep(&mut world)
+        });
+        assert_eq!(sweep.stats.shards_retried, 1);
+        assert_eq!(sweep.stats.shards_lost, 0);
+        assert_eq!(sweep.stats.completeness, Completeness::Full);
+        assert_eq!(sweep.domains.len() as u64, sweep.stats.seeded);
+        let resolved = sweep.domains.iter().filter(|d| d.has_ns_data()).count();
+        assert!(resolved as f64 > sweep.domains.len() as f64 * 0.95);
+        assert_eq!(sweep.metrics.causes.counter(keys::SHARDS_RETRIED), 1);
+    }
+
+    #[test]
+    fn twice_panicked_shards_degrade_into_a_gap_not_an_abort() {
+        let sweep = with_quiet_panics(|| {
+            let mut world = World::new(WorldConfig::tiny());
+            // Unlimited panics on every domain: both workers die, both
+            // retries die — the whole day degrades into worker-lost gap
+            // records and a salvaged partial sweep, but the call returns.
+            let mut scanner = OpenIntelScanner::with_options(
+                &world,
+                SweepOptions::new()
+                    .workers(2)
+                    .inject_worker_panic("", u32::MAX),
+            );
+            scanner.sweep(&mut world)
+        });
+        assert_eq!(sweep.stats.shards_lost, 2);
+        assert_eq!(sweep.stats.completeness, Completeness::Partial);
+        assert_eq!(sweep.stats.ns_failures, sweep.stats.seeded);
+        // Salvage drops the empty gap records: nothing measured that day.
+        assert!(sweep.domains.is_empty());
+        let lost = sweep
+            .metrics
+            .causes
+            .histogram(fail_key(ScanError::WorkerLost.category()))
+            .map(|h| h.count())
+            .unwrap_or(0);
+        assert_eq!(lost, sweep.stats.seeded);
+        assert_eq!(
+            sweep.metrics.causes.counter(keys::DOMAINS_LOST),
+            sweep.stats.seeded
+        );
+    }
+
+    #[test]
+    fn checkpoint_dir_env_is_parsed_like_workers() {
+        // Process-global env var: set/remove under one test to avoid
+        // cross-test races (cargo runs tests in threads).
+        assert_eq!(CHECKPOINT_DIR_ENV, "RUWHERE_CHECKPOINT_DIR");
+        assert!(default_checkpoint_dir().is_none() || std::env::var(CHECKPOINT_DIR_ENV).is_ok());
     }
 
     #[test]

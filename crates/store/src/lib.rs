@@ -24,11 +24,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod frame;
 pub mod metrics;
 pub mod record;
 pub mod sym;
 
+pub use checkpoint::{
+    decode_segment, encode_segment, CheckpointDir, CheckpointError, DayCheckpoint, InternerDelta,
+    LoadOutcome, QuarantinedSegment, TableSizes,
+};
 pub use frame::{AddrColumns, AddrsView, FrameBuilder, RecordView, SweepFrame};
 pub use metrics::{fail_key, keys, SweepMetrics};
 pub use record::{AddrInfo, Completeness, DailySweep, DomainDay, SweepStats};

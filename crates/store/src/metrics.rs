@@ -32,6 +32,13 @@ pub mod keys {
     /// NS-failure rate of the sweep, in parts-per-million (integer — the
     /// exported file carries no floats).
     pub const SALVAGE_NS_FAILURE_PPM: &str = "salvage.ns_failure_ppm";
+    /// Shard workers that panicked and were re-run successfully.
+    pub const SHARDS_RETRIED: &str = "salvage.shards_retried";
+    /// Shard workers lost for good (panicked twice); their domains become
+    /// `worker_lost` failure records.
+    pub const SHARDS_LOST: &str = "salvage.shards_lost";
+    /// Domains whose measurements were lost with a dead shard.
+    pub const DOMAINS_LOST: &str = "salvage.domains_lost";
 }
 
 /// Map a failure category (from `ScanError::category` /
@@ -49,6 +56,7 @@ pub fn fail_key(category: &str) -> &'static str {
         "unreachable" => "fail.unreachable_us",
         "bad_payload" => "fail.bad_payload_us",
         "not_found" => "fail.not_found_us",
+        "worker_lost" => "fail.worker_lost_us",
         _ => "fail.other_us",
     }
 }

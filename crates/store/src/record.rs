@@ -95,6 +95,14 @@ pub struct SweepStats {
     /// NS-target address lookups that had to resolve (one per distinct
     /// name-server host per sweep).
     pub ns_cache_misses: u64,
+    /// Shard workers that panicked and were successfully re-run by the
+    /// supervisor (the sweep recovered; output may differ from a clean
+    /// run only in cache-cost accounting).
+    pub shards_retried: u64,
+    /// Shard workers lost for good — panicked twice. Their domains
+    /// degrade into per-cause failure records (`worker_lost`) and flow
+    /// into the partial-sweep salvage path.
+    pub shards_lost: u64,
     /// Whether the sweep is full or a salvaged partial.
     pub completeness: Completeness,
 }

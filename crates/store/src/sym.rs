@@ -187,6 +187,18 @@ impl Interner {
         self.inner.read().countries.len()
     }
 
+    /// The interned names from table index `start` on, in symbol order —
+    /// the name half of a checkpoint delta (`Arc` bumps, not copies).
+    pub fn names_from(&self, start: usize) -> Vec<DomainName> {
+        self.inner.read().names[start..].to_vec()
+    }
+
+    /// The interned countries from table index `start` on, in symbol
+    /// order — the country half of a checkpoint delta.
+    pub fn countries_from(&self, start: usize) -> Vec<Country> {
+        self.inner.read().countries[start..].to_vec()
+    }
+
     /// A read guard with borrowing accessors — take one per frame walk
     /// instead of re-locking per record.
     pub fn snapshot(&self) -> InternerSnap<'_> {

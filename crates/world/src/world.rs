@@ -371,6 +371,18 @@ impl World {
         &self.net
     }
 
+    /// Restore the network's global virtual clock to an absolute reading
+    /// (microseconds), as recorded in a study checkpoint. Fault windows
+    /// anchor to the absolute clock, so a resumed study must re-advance
+    /// it through each replayed day in original order — this is the
+    /// replay half of the sweep engine's post-sweep
+    /// `advance_to_time(max lane end)`. Monotonic: a reading at or
+    /// before the current clock is a no-op.
+    pub fn restore_net_clock_us(&mut self, us: u64) {
+        self.net
+            .advance_to_time(ruwhere_netsim::SimTime::ZERO.plus_us(us));
+    }
+
     /// Address the measurement client should source traffic from.
     pub fn scanner_ip(&self) -> Ipv4Addr {
         self.scanner_ip
